@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures and the end-of-session table report.
+
+Every benchmark regenerates one of the paper's tables/figures and
+registers the structured result here; after the run, the terminal
+summary prints each regenerated artifact with its paper-vs-measured
+comparison — the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.harness.report import ExperimentResult
+
+_RESULTS: Dict[str, ExperimentResult] = {}
+
+
+@pytest.fixture
+def record():
+    """Register an ExperimentResult for the end-of-run report."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        _RESULTS[result.experiment_id] = result
+        return result
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _RESULTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 70)
+    terminalreporter.write_line("REGENERATED PAPER ARTIFACTS (paper vs measured)")
+    terminalreporter.write_line("=" * 70)
+    order = ["table1", "table2", "table3", "table4", "table5",
+             "fig5", "fig8", "fig10", "fig11", "fig12", "fig13",
+             "fig14", "fig15", "fig16", "fig17",
+             "ablation_patch", "ablation_lut_size", "ablation_coalesce",
+             "ablation_lm_head", "ablation_tmac", "ablation_energy",
+             "ablation_prefill"]
+    for eid in order:
+        if eid in _RESULTS:
+            terminalreporter.write_line("")
+            terminalreporter.write_line(_RESULTS[eid].render())

@@ -1,0 +1,64 @@
+"""Fig. 10 — accuracy-latency trade-off of test-time scaling.
+
+Regenerates the headline Pareto result: small models with test-time
+scaling match or exceed the base accuracy of larger models at lower
+decode cost.
+"""
+
+import pytest
+
+from repro.harness.figures import run_fig10
+from repro.llm.config import get_model_config
+from repro.npu.soc import get_device
+from repro.perf.latency import DecodePerformanceModel
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig10()
+
+
+def _points(result, model, method):
+    return {row[2]: (row[3], row[4]) for row in result.rows
+            if row[0] == model and row[1] == method}
+
+
+def test_fig10_pareto_frontier(result, record, benchmark):
+    record(result)
+    perf = DecodePerformanceModel(get_model_config("qwen2.5-1.5b"),
+                                  get_device("oneplus_12"))
+    benchmark(perf.decode_latency, 8, 1024)
+
+    q15 = _points(result, "qwen2.5-1.5b", "best_of_n")
+    q3 = _points(result, "qwen2.5-3b", "best_of_n")
+    base_acc_3b, base_lat_3b = q3[1]
+    # some 1.5B + TTS point beats the 3B base accuracy at lower latency
+    dominated = [budget for budget, (acc, lat) in q15.items()
+                 if acc > base_acc_3b and lat < base_lat_3b]
+    assert dominated, "1.5B + Best-of-N never dominated the 3B base point"
+
+
+def test_fig10_3b_scaling_beats_7b_base(result, benchmark):
+    from repro.tts import get_model_profile
+    benchmark(get_model_profile, "qwen2.5-7b")
+    q3 = _points(result, "qwen2.5-3b", "best_of_n")
+    base_7b = 100 * get_model_profile("qwen2.5-7b").base_accuracy["math500"]
+    assert max(acc for acc, _ in q3.values()) > base_7b
+
+
+def test_fig10_beam_search_efficiency(result, benchmark):
+    """Beam search: Llama 1B reaches its 3B sibling's base accuracy."""
+    from repro.tts import get_model_profile
+    benchmark(get_model_profile, "llama3.2-3b")
+    l1 = _points(result, "llama3.2-1b", "beam_search")
+    base_3b = 100 * get_model_profile("llama3.2-3b").base_accuracy["math500"]
+    assert max(acc for acc, _ in l1.values()) >= base_3b - 2.0
+
+
+def test_fig10_latency_grows_mildly(result, benchmark):
+    perf = DecodePerformanceModel(get_model_config("qwen2.5-1.5b"),
+                                  get_device("oneplus_12"))
+    benchmark(perf.decode_latency, 16, 1024)
+    q15 = _points(result, "qwen2.5-1.5b", "best_of_n")
+    # a 16x budget costs far less than 16x the latency (the NPU headroom)
+    assert q15[16][1] < 4 * q15[1][1]

@@ -1,0 +1,64 @@
+"""Fig. 11 — end-to-end decode throughput vs batch size.
+
+Regenerates the batch-scaling curves across the three devices, including
+the VA-space rejection of >=3B models on Snapdragon 8 Gen 2 and the
+CPU-side lm_head bottleneck at batch 16.
+"""
+
+import pytest
+
+from repro.harness.figures import run_fig11
+from repro.llm.config import get_model_config
+from repro.npu.soc import get_device
+from repro.perf.latency import DecodePerformanceModel
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig11()
+
+
+def _series(result, device, model):
+    return [row[3] for row in result.rows
+            if row[0] == device and row[1] == model
+            and isinstance(row[3], float)]
+
+
+def test_fig11_throughput_scales(result, record, benchmark):
+    record(result)
+    perf = DecodePerformanceModel(get_model_config("qwen2.5-1.5b"),
+                                  get_device("oneplus_12"))
+    benchmark(perf.decode_throughput, 16, 1024)
+
+    for device in ("8G3", "8E"):
+        for model in ("qwen2.5-1.5b", "qwen2.5-3b"):
+            tps = _series(result, device, model)
+            assert len(tps) == 5
+            # significant but sub-linear scaling
+            assert 3.0 < tps[-1] / tps[0] < 16.0
+            assert all(a < b for a, b in zip(tps, tps[1:]))
+
+
+def test_fig11_8g2_va_space_rejections(result, benchmark):
+    benchmark(get_device, "oneplus_ace3")
+    rejected = {row[1] for row in result.rows
+                if row[0] == "8G2" and "does not fit" in str(row[3])}
+    assert rejected == {"qwen2.5-3b", "llama3.2-3b"}
+
+
+def test_fig11_cpu_bottleneck_at_batch16(result, benchmark):
+    perf = DecodePerformanceModel(get_model_config("qwen2.5-1.5b"),
+                                  get_device("oneplus_12"))
+    benchmark(perf.cpu_time_fraction, 16, 1024)
+    assert perf.cpu_time_fraction(16, 1024) >= 0.45
+
+
+def test_fig11_devices_ordered(result, benchmark):
+    perf = DecodePerformanceModel(get_model_config("qwen2.5-1.5b"),
+                                  get_device("oneplus_ace5_pro"))
+    benchmark(perf.decode_throughput, 8, 1024)
+    for model in ("qwen2.5-1.5b", "llama3.2-1b"):
+        g2 = _series(result, "8G2", model)
+        g3 = _series(result, "8G3", model)
+        elite = _series(result, "8E", model)
+        assert g2[-1] < g3[-1] < elite[-1]

@@ -1,0 +1,60 @@
+"""Fig. 12 — power and energy consumption during decoding.
+
+Regenerates the §7.2.3 measurement: power stays within 5 W, and the
+1.5B model at batch 8 uses less energy per token than the 3B model at
+batch 1 — the energy side of the Pareto argument.
+"""
+
+import pytest
+
+from repro.harness.figures import run_fig12
+from repro.llm.config import get_model_config
+from repro.npu.soc import get_device
+from repro.perf.power import PowerModel
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig12()
+
+
+def _rows(result, model):
+    return [row for row in result.rows if row[0] == model]
+
+
+def test_fig12_power_within_5w(result, record, benchmark):
+    record(result)
+    power = PowerModel(get_model_config("qwen2.5-1.5b"),
+                       get_device("oneplus_12"))
+    benchmark(power.sample, 8)
+    assert all(row[2] < 5.0 for row in result.rows)
+
+
+def test_fig12_3b_power_stable(result, benchmark):
+    power = PowerModel(get_model_config("qwen2.5-3b"),
+                       get_device("oneplus_12"))
+    benchmark(power.sample, 1)
+    watts = [row[2] for row in _rows(result, "qwen2.5-3b")]
+    # paper: "stabilizes at around 4.3W"
+    assert max(watts) - min(watts) < 0.8
+    assert 3.8 <= sum(watts) / len(watts) <= 5.0
+
+
+def test_fig12_energy_pareto_claim(result, benchmark):
+    power = PowerModel(get_model_config("qwen2.5-1.5b"),
+                       get_device("oneplus_12"))
+    benchmark(power.sample, 16)
+    small_at_8 = next(row[3] for row in _rows(result, "qwen2.5-1.5b")
+                      if row[1] == 8)
+    large_at_1 = next(row[3] for row in _rows(result, "qwen2.5-3b")
+                      if row[1] == 1)
+    assert small_at_8 < large_at_1
+
+
+def test_fig12_energy_per_token_falls(result, benchmark):
+    power = PowerModel(get_model_config("qwen2.5-3b"),
+                       get_device("oneplus_12"))
+    benchmark(power.sample, 4)
+    for model in ("qwen2.5-1.5b", "qwen2.5-3b"):
+        energies = [row[3] for row in _rows(result, model)]
+        assert all(a > b for a, b in zip(energies, energies[1:]))

@@ -1,0 +1,53 @@
+"""Fig. 13 — inference throughput: ours vs GPU (OpenCL) vs QNN FP16.
+
+Regenerates the system comparison: the GPU decodes faster at batch 1 but
+plateaus; the NPU system scales with batch and wins test-time-scaling
+workloads; prefill consistently beats the GPU and approaches QNN.
+"""
+
+import pytest
+
+from repro.harness.figures import run_fig13
+from repro.llm.config import get_model_config
+from repro.perf.baselines import AdrenoGPUModel
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig13()
+
+
+def _decode(result, model):
+    return {row[2]: (row[3], row[4]) for row in result.rows
+            if row[0] == model and row[1] == "decode"}
+
+
+def test_fig13_decode_crossover(result, record, benchmark):
+    record(result)
+    gpu = AdrenoGPUModel(get_model_config("qwen2.5-1.5b"))
+    benchmark(gpu.decode_latency, 8, 1024)
+
+    for model in ("qwen2.5-1.5b", "qwen2.5-3b"):
+        points = _decode(result, model)
+        ours_1, gpu_1 = points[1]
+        ours_16, gpu_16 = points[16]
+        assert gpu_1 > ours_1        # GPU faster at batch 1
+        assert ours_16 > 1.5 * gpu_16  # NPU wins large batches decisively
+
+
+def test_fig13_gpu_plateaus(result, benchmark):
+    gpu = AdrenoGPUModel(get_model_config("qwen2.5-1.5b"))
+    benchmark(gpu.decode_latency, 16, 1024)
+    points = _decode(result, "qwen2.5-1.5b")
+    assert points[16][1] < 1.2 * points[4][1]
+
+
+def test_fig13_prefill_beats_gpu(result, benchmark):
+    gpu = AdrenoGPUModel(get_model_config("qwen2.5-1.5b"))
+    benchmark(gpu.prefill_latency, 512)
+    for model in ("qwen2.5-1.5b", "qwen2.5-3b"):
+        row = next(r for r in result.rows
+                   if r[0] == model and str(r[1]).startswith("prefill"))
+        ours, gpu_tps, qnn = row[3], row[4], row[5]
+        assert ours > gpu_tps
+        assert 0.4 < ours / qnn < 2.5  # comparable with QNN

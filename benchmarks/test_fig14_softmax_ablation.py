@@ -1,0 +1,62 @@
+"""Fig. 14 — on-chip softmax latency by exp implementation.
+
+Regenerates the §7.4 ablation on functional instruction traces: LUT exp
+is 1.26x-2.19x faster than FP32 exp and up to 1.60x faster than FP16
+exp, with the ratio dipping for large queries at short context.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.figures import run_fig14
+from repro.kernels.softmax import OnChipSoftmax
+from repro.npu.hvx import HVXContext
+from repro.npu.memory import TCM
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig14()
+
+
+def _bench_softmax(method, shape):
+    rng = np.random.default_rng(0)
+    scores = rng.normal(0, 2, shape).astype(np.float16)
+    softmax = OnChipSoftmax(HVXContext(), method, tcm=TCM())
+    return softmax, scores
+
+
+def test_fig14_lut_speedup_band(result, record, benchmark):
+    record(result)
+    softmax, scores = _bench_softmax("lut", (4, 4096))
+    benchmark(softmax, scores)
+
+    speedups = result.column("speedup vs f32")
+    assert min(speedups) >= 1.26 * 0.9
+    assert max(speedups) <= 2.19 * 1.1
+
+
+def test_fig14_f16_speedup_band(result, benchmark):
+    softmax, scores = _bench_softmax("poly16", (4, 4096))
+    benchmark(softmax, scores)
+    speedups = result.column("speedup vs f16")
+    assert all(s > 1.0 for s in speedups)  # LUT always wins
+    assert max(speedups) <= 1.60 * 1.1     # "up to 1.60x"
+
+
+def test_fig14_f32_is_slowest(result, benchmark):
+    softmax, scores = _bench_softmax("poly32", (4, 4096))
+    benchmark(softmax, scores)
+    for row in result.rows:
+        f32_us, f16_us, lut_us = row[2], row[3], row[4]
+        assert f32_us > f16_us > lut_us
+
+
+def test_fig14_short_context_reduces_ratio(result, benchmark):
+    """Paper: larger query at short KV slightly reduces the speedup;
+    alleviated at longer KV."""
+    softmax, scores = _bench_softmax("lut", (16, 1024))
+    benchmark(softmax, scores)
+    by_key = {(row[0], row[1]): row[5] for row in result.rows}
+    assert by_key[(1, 1024)] < by_key[(1, 16384)]
+    assert by_key[(16, 16384)] >= by_key[(16, 1024)]

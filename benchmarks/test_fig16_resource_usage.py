@@ -1,0 +1,51 @@
+"""Fig. 16 — CPU and memory usage during decoding.
+
+Regenerates the §7.5 resource accounting: constant dmabuf (NPU) memory,
+totals near 1.3 / 2.4 GiB, and CPU utilization growing with batch under
+the 4-core ceiling.
+"""
+
+import pytest
+
+from repro.harness.figures import run_fig16
+from repro.llm.config import get_model_config
+from repro.npu.soc import get_device
+from repro.perf.memory import MemoryModel
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig16()
+
+
+def test_fig16_dmabuf_matches_paper(result, record, benchmark):
+    record(result)
+    memory = MemoryModel(get_model_config("qwen2.5-1.5b"),
+                         get_device("oneplus_12"), 4096)
+    benchmark(memory.snapshot, 8)
+
+    dmabuf_15b = {row[2] for row in result.rows if row[0] == "qwen2.5-1.5b"}
+    dmabuf_3b = {row[2] for row in result.rows if row[0] == "qwen2.5-3b"}
+    assert len(dmabuf_15b) == 1 and len(dmabuf_3b) == 1  # constant in batch
+    assert next(iter(dmabuf_15b)) == pytest.approx(1056, rel=0.1)
+    assert next(iter(dmabuf_3b)) == pytest.approx(2090, rel=0.1)
+
+
+def test_fig16_totals_match_paper(result, benchmark):
+    memory = MemoryModel(get_model_config("qwen2.5-3b"),
+                         get_device("oneplus_12"), 4096)
+    benchmark(memory.snapshot, 1)
+    t15 = next(row[4] for row in result.rows if row[0] == "qwen2.5-1.5b")
+    t3 = next(row[4] for row in result.rows if row[0] == "qwen2.5-3b")
+    assert t15 == pytest.approx(1.3, abs=0.15)
+    assert t3 == pytest.approx(2.4, abs=0.2)
+
+
+def test_fig16_cpu_util_grows_capped(result, benchmark):
+    memory = MemoryModel(get_model_config("qwen2.5-1.5b"),
+                         get_device("oneplus_12"), 4096)
+    benchmark(memory.cpu_utilization_pct, 16)
+    for model in ("qwen2.5-1.5b", "qwen2.5-3b"):
+        utils = [row[5] for row in result.rows if row[0] == model]
+        assert utils[-1] > utils[0]
+        assert all(u <= 400 for u in utils)  # limited to 4 cores

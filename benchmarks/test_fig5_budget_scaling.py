@@ -1,0 +1,38 @@
+"""Fig. 5 — MATH500 accuracy vs generation budget (Best-of-N).
+
+Regenerates the motivating curve: accuracy improves significantly as the
+parallel generation budget (decode batch size) increases.
+"""
+
+import pytest
+
+from repro.harness.figures import _dataset, run_fig5
+from repro.tts import evaluate_best_of_n, get_model_profile
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig5()
+
+
+def test_fig5_budget_scaling(result, record, benchmark):
+    record(result)
+    dataset = _dataset("math500")
+    profile = get_model_profile("qwen2.5-1.5b")
+    benchmark(evaluate_best_of_n, dataset, profile, 4)
+
+    for model in ("llama3.2-1b", "qwen2.5-1.5b"):
+        accs = [row[2] for row in result.rows if row[0] == model]
+        # significant improvement: at least +10 points from N=1 to N=16
+        assert accs[-1] > accs[0] + 10
+        # and monotone through the sweep (small noise tolerated)
+        assert all(b >= a - 2.0 for a, b in zip(accs, accs[1:]))
+
+
+def test_fig5_smaller_model_scales_too(result, benchmark):
+    dataset = _dataset("math500")
+    benchmark(evaluate_best_of_n, dataset, get_model_profile("llama3.2-1b"), 2)
+    llama = [row[2] for row in result.rows if row[0] == "llama3.2-1b"]
+    qwen = [row[2] for row in result.rows if row[0] == "qwen2.5-1.5b"]
+    # the stronger model stays above the weaker one at every budget
+    assert all(q > l for q, l in zip(qwen, llama))

@@ -1,0 +1,35 @@
+"""Fig. 8 — FlashAttention latency breakdown on the Hexagon NPU.
+
+Regenerates the decomposition that motivates LUT softmax: matrix
+multiplication contributes little; Softmax dominates as the query length
+(test-time-scaling batch) grows.
+"""
+
+import pytest
+
+from repro.harness.figures import run_fig8
+from repro.perf.latency import attention_phase_costs
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig8()
+
+
+def test_fig8_softmax_dominates(result, record, benchmark):
+    record(result)
+    benchmark(attention_phase_costs, 96, 4096, 128)
+
+    shares = result.column("softmax share (%)")
+    # share grows with query length and softmax overtakes matmul
+    assert shares[-1] > shares[0]
+    last = result.rows[-1]
+    matmul_us, softmax_us = last[1], last[2]
+    assert softmax_us > matmul_us
+
+
+def test_fig8_matmul_tile_quantized(result, benchmark):
+    benchmark(attention_phase_costs, 6, 4096, 128)
+    # query lengths 1..4 pad to the same 32-row tile: matmul time flat
+    matmul = result.column("matmul (us)")
+    assert matmul[0] == matmul[1] == matmul[2]

@@ -1,0 +1,20 @@
+"""Table 3 — the evaluated devices and their NPU architectures."""
+
+import pytest
+
+from repro.harness.tables import run_table3
+from repro.npu.soc import get_device
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_table3()
+
+
+def test_table3_devices(result, record, benchmark):
+    record(result)
+    benchmark(get_device, "oneplus_12")
+    triples = {(row[0], row[1], row[2]) for row in result.rows}
+    assert ("OnePlus Ace3", "Snapdragon 8 Gen 2", "V73") in triples
+    assert ("OnePlus 12", "Snapdragon 8 Gen 3", "V75") in triples
+    assert ("OnePlus Ace5 Pro", "Snapdragon 8 Elite", "V79") in triples

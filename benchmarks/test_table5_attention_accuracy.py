@@ -1,0 +1,43 @@
+"""Table 5 — FP16 LUT FlashAttention vs conventional FP32 attention.
+
+Regenerates the §7.3 attention-implementation comparison: running
+Algorithm 1 entirely in FP16 with LUT-based softmax has no noticeable
+end-to-end accuracy impact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.tables import _accuracy_harness, run_table5
+from repro.kernels.flash_attention import FlashAttention
+from repro.npu.memory import TCM
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_table5()
+
+
+def test_table5_attention_accuracy(result, record, benchmark):
+    record(result)
+    rng = np.random.default_rng(0)
+    q = rng.normal(size=(16, 64)).astype(np.float16)
+    k = rng.normal(size=(256, 64)).astype(np.float16)
+    v = rng.normal(size=(256, 64)).astype(np.float16)
+    fa = FlashAttention("lut", tcm=TCM())
+    benchmark(fa, q, k, v)
+
+    ppl_lut = result.rows[2][1]
+    ppl_f32 = result.rows[2][2]
+    # paper: 10.205 vs 10.206 — indistinguishable
+    assert abs(ppl_lut - ppl_f32) / ppl_f32 < 0.02
+
+
+def test_table5_attention_kl_negligible(result, benchmark):
+    harness = _accuracy_harness()
+    benchmark(harness.evaluate_reference)
+    kl_lut = result.rows[3][1]
+    kl_f32 = result.rows[3][2]
+    # the attention-implementation delta is tiny next to the (shared)
+    # quantization KL of either variant
+    assert abs(kl_lut - kl_f32) < 0.1 * max(kl_lut, kl_f32)

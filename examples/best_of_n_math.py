@@ -1,0 +1,69 @@
+"""Test-time scaling study: can a 1.5B model beat a 3B model on-device?
+
+Reproduces the paper's headline experiment (Fig. 10) end to end:
+
+1. sweep Best-of-N / Beam Search budgets for the small and large model
+   on the synthetic MATH500 environment;
+2. price every configuration with the device latency model
+   (batched decode on the OnePlus 12 NPU);
+3. print the Pareto comparison.
+
+Run:  python examples/best_of_n_math.py
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import render_table
+from repro.llm import get_model_config
+from repro.npu import get_device
+from repro.perf import DecodePerformanceModel
+from repro.tts import TaskDataset, budget_sweep, get_model_profile
+
+BUDGETS = (1, 2, 4, 8, 16)
+DEVICE = "oneplus_12"
+DATASET = "math500"
+
+
+def main() -> None:
+    device = get_device(DEVICE)
+    dataset = TaskDataset.generate(DATASET, n_problems=600, seed=0)
+
+    rows = []
+    frontier = {}
+    for model in ("qwen2.5-1.5b", "qwen2.5-3b"):
+        profile = get_model_profile(model)
+        perf = DecodePerformanceModel(get_model_config(model), device)
+        for method in ("best_of_n", "beam_search"):
+            curve = budget_sweep(method, dataset, profile, budgets=BUDGETS,
+                                 seed=17)
+            for budget, accuracy in zip(curve.budgets, curve.accuracies):
+                latency_ms = 1e3 * perf.decode_latency(budget, context=1024)
+                rows.append([model, method, budget,
+                             round(100 * accuracy, 1), round(latency_ms, 1)])
+                frontier[(model, method, budget)] = (accuracy, latency_ms)
+
+    print(render_table(
+        f"Accuracy vs decode latency ({DATASET}, {device.name})",
+        ["model", "method", "budget N", "accuracy (%)", "latency/step (ms)"],
+        rows))
+
+    base_3b_acc, base_3b_lat = frontier[("qwen2.5-3b", "best_of_n", 1)]
+    winners = [
+        (budget, acc, lat)
+        for (model, method, budget), (acc, lat) in frontier.items()
+        if model == "qwen2.5-1.5b" and method == "best_of_n"
+        and acc > base_3b_acc and lat < base_3b_lat
+    ]
+    print(f"\n3B base point: {100 * base_3b_acc:.1f}% at "
+          f"{base_3b_lat:.1f} ms/step")
+    if winners:
+        print("1.5B + Best-of-N configurations that dominate it "
+              "(higher accuracy, lower latency):")
+        for budget, acc, lat in sorted(winners):
+            print(f"  N={budget:<3d} {100 * acc:.1f}% at {lat:.1f} ms/step")
+    else:
+        print("no dominating 1.5B configuration found in this sweep")
+
+
+if __name__ == "__main__":
+    main()

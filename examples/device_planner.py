@@ -1,0 +1,57 @@
+"""Deployment planner: which (model, device, budget) configurations work?
+
+For every evaluated model and device this script checks whether the
+inference session fits the NPU virtual address space (the 8 Gen 2
+limitation), then reports throughput, power and energy per token across
+test-time-scaling budgets — the operational questions the paper's
+evaluation answers.
+
+Run:  python examples/device_planner.py
+"""
+
+from __future__ import annotations
+
+from repro.errors import AddressSpaceError
+from repro.harness.report import render_table
+from repro.llm import MODEL_CONFIGS
+from repro.npu import DEVICES
+from repro.perf import DecodePerformanceModel, MemoryModel, PowerModel
+
+CONTEXT_BUDGET = 4096
+BATCHES = (1, 8, 16)
+
+
+def main() -> None:
+    rows = []
+    for device in DEVICES.values():
+        for name, config in MODEL_CONFIGS.items():
+            heap = device.rpcmem_heap()
+            try:
+                heap.alloc(config.npu_session_bytes(CONTEXT_BUDGET),
+                           name=f"{name}-session")
+            except AddressSpaceError:
+                rows.append([device.short_name, name, "-", "-", "-", "-",
+                             "no: NPU VA space"])
+                continue
+            perf = DecodePerformanceModel(config, device)
+            power = PowerModel(config, device)
+            memory = MemoryModel(config, device, CONTEXT_BUDGET)
+            for batch in BATCHES:
+                sample = power.sample(batch)
+                rows.append([
+                    device.short_name, name, batch,
+                    round(perf.decode_throughput(batch, 1024), 1),
+                    round(sample.power_w, 2),
+                    round(1e3 * sample.energy_per_token_j, 1),
+                    f"yes ({memory.dmabuf_bytes() / 2**20:.0f} MiB dmabuf)",
+                ])
+    print(render_table(
+        f"Deployment planner (context budget {CONTEXT_BUDGET} tokens)",
+        ["device", "model", "batch", "decode tok/s", "power (W)",
+         "energy/tok (mJ)", "fits NPU?"], rows))
+    print("\n'no: NPU VA space' rows reproduce the paper's 8 Gen 2 "
+          "limitation: >=3B models cannot map into a 2 GiB session.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Walks the experiment registry (Tables 1-5, Figs. 5, 8, 10-17), prints
+each regenerated artifact with its paper-vs-measured comparison, and
+finishes with a summary.  The accuracy tables take a couple of minutes
+(they run real quantization/attention numerics on the probe models).
+
+Run:  python examples/reproduce_paper.py [experiment-id ...]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.harness import EXPERIMENTS, run_experiment
+
+
+def main() -> None:
+    requested = sys.argv[1:] or list(EXPERIMENTS)
+    unknown = [eid for eid in requested if eid not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiment ids {unknown}; "
+                         f"known: {sorted(EXPERIMENTS)}")
+    durations = {}
+    for eid in requested:
+        start = time.perf_counter()
+        result = run_experiment(eid)
+        durations[eid] = time.perf_counter() - start
+        print(result.render())
+        print()
+    print("=" * 60)
+    print(f"regenerated {len(requested)} artifacts")
+    for eid in requested:
+        print(f"  {eid:<8s} {durations[eid]:6.1f} s")
+
+
+if __name__ == "__main__":
+    main()

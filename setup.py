@@ -1,0 +1,12 @@
+"""Setuptools shim so editable installs work without the wheel package.
+
+The offline environment ships setuptools 65 but no ``wheel`` module, so
+PEP 517 editable builds (``pip install -e .``) fail with
+``invalid command 'bdist_wheel'``.  ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` on newer toolchains) uses this
+shim; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

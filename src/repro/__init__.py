@@ -1,0 +1,39 @@
+"""Reproduction of "Scaling LLM Test-Time Compute with Mobile NPU on
+Smartphones" (EUROSYS '26).
+
+Subpackages:
+
+* :mod:`repro.npu` — functional + timing model of the Hexagon NPU
+  (HVX vector unit, HMX matrix unit, TCM/DMA, devices, FastRPC).
+* :mod:`repro.quant` — Q4_0/Q8_0 group quantization, the paper's
+  hardware-aware tile-group scheme, super-group coalescing, codebooks.
+* :mod:`repro.kernels` — mixed-precision GEMM, LUT softmax, FP16
+  FlashAttention (Algorithm 1), misc transformer ops.
+* :mod:`repro.llm` — model configs, GQA transformer, KV cache, engine.
+* :mod:`repro.tts` — Best-of-N / Beam Search / Self-Consistency with
+  ORM/PRM scorers over a calibrated synthetic task environment.
+* :mod:`repro.perf` — latency, power, memory and baseline-system models.
+* :mod:`repro.harness` — per-table/figure experiment regeneration.
+
+Quickstart::
+
+    from repro.harness import run_experiment
+    print(run_experiment("fig15").render())
+"""
+
+from . import errors, kernels, llm, npu, perf, quant, tts
+from . import harness
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "errors",
+    "harness",
+    "kernels",
+    "llm",
+    "npu",
+    "perf",
+    "quant",
+    "tts",
+    "__version__",
+]

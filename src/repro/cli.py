@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiments`` — list every regenerable table/figure;
+* ``run <id> [...]`` — regenerate one or more artifacts and print them;
+* ``devices`` — the Table 3 device registry with modelled parameters;
+* ``plan <model>`` — deployment feasibility/throughput across devices;
+* ``sweep <model> <dataset>`` — test-time-scaling budget sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Scaling LLM Test-Time Compute with "
+                    "Mobile NPU on Smartphones' (EUROSYS '26)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list regenerable tables/figures")
+
+    run = sub.add_parser("run", help="regenerate artifacts by id")
+    run.add_argument("ids", nargs="+", help="experiment ids (e.g. fig15)")
+
+    sub.add_parser("devices", help="show the evaluation device registry")
+
+    plan = sub.add_parser("plan", help="deployment planner for one model")
+    plan.add_argument("model", help="model name (e.g. qwen2.5-1.5b)")
+    plan.add_argument("--context", type=int, default=4096,
+                      help="context budget in tokens")
+
+    sweep = sub.add_parser("sweep", help="test-time-scaling budget sweep")
+    sweep.add_argument("model", help="model name (e.g. qwen2.5-1.5b)")
+    sweep.add_argument("dataset", choices=["math500", "gsm8k"])
+    sweep.add_argument("--method", default="best_of_n",
+                       help="scaling method (best_of_n, beam_search, "
+                            "self_consistency, weighted_sc, mcts)")
+    sweep.add_argument("--budgets", type=int, nargs="+",
+                       default=[1, 2, 4, 8, 16])
+    sweep.add_argument("--problems", type=int, default=400)
+    return parser
+
+
+def _cmd_experiments(out) -> int:
+    from .harness import EXPERIMENTS
+    for eid, runner in EXPERIMENTS.items():
+        doc = (runner.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        out.write(f"{eid:<8s} {summary}\n")
+    return 0
+
+
+def _cmd_run(ids: List[str], out) -> int:
+    from .errors import HarnessError
+    from .harness import run_experiment
+    status = 0
+    for eid in ids:
+        try:
+            result = run_experiment(eid)
+        except HarnessError as error:
+            out.write(f"error: {error}\n")
+            status = 2
+            continue
+        out.write(result.render() + "\n\n")
+    return status
+
+
+def _cmd_devices(out) -> int:
+    from .harness.tables import run_table3
+    out.write(run_table3().render() + "\n")
+    return 0
+
+
+def _cmd_plan(model: str, context: int, out) -> int:
+    from .errors import AddressSpaceError, ModelConfigError
+    from .harness.report import render_table
+    from .llm import get_model_config
+    from .npu import DEVICES
+    from .perf import DecodePerformanceModel, MemoryModel, PowerModel
+
+    try:
+        config = get_model_config(model)
+    except ModelConfigError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    rows = []
+    for device in DEVICES.values():
+        heap = device.rpcmem_heap()
+        try:
+            heap.alloc(config.npu_session_bytes(context), name="session")
+        except AddressSpaceError:
+            rows.append([device.short_name, "-", "-", "-",
+                         "no: NPU VA space"])
+            continue
+        perf = DecodePerformanceModel(config, device)
+        power = PowerModel(config, device)
+        memory = MemoryModel(config, device, context)
+        rows.append([
+            device.short_name,
+            round(perf.decode_throughput(8, 1024), 1),
+            round(power.sample(8).power_w, 2),
+            round(memory.dmabuf_bytes() / 2**20),
+            "yes",
+        ])
+    out.write(render_table(
+        f"{config.name} deployment (batch 8, context budget {context})",
+        ["device", "decode tok/s", "power (W)", "dmabuf (MiB)", "fits"],
+        rows) + "\n")
+    return 0
+
+
+def _cmd_sweep(model: str, dataset: str, method: str, budgets: List[int],
+               problems: int, out) -> int:
+    from .errors import ScalingError
+    from .harness.report import render_table
+    from .tts import TaskDataset, budget_sweep, get_model_profile
+
+    try:
+        profile = get_model_profile(model)
+        data = TaskDataset.generate(dataset, problems, seed=0)
+        curve = budget_sweep(method, data, profile, budgets=budgets, seed=0)
+    except ScalingError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    rows = [[budget, round(100 * acc, 1), round(tokens)]
+            for budget, acc, tokens in zip(curve.budgets, curve.accuracies,
+                                           curve.tokens_per_problem)]
+    out.write(render_table(
+        f"{method} on {dataset} — {model} ({problems} problems)",
+        ["budget N", "accuracy (%)", "tokens/problem"], rows) + "\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return _cmd_experiments(out)
+    if args.command == "run":
+        return _cmd_run(args.ids, out)
+    if args.command == "devices":
+        return _cmd_devices(out)
+    if args.command == "plan":
+        return _cmd_plan(args.model, args.context, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args.model, args.dataset, args.method,
+                          args.budgets, args.problems, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can distinguish simulator faults from ordinary Python errors.  The
+hierarchy mirrors the major subsystems: NPU hardware model, quantization,
+kernels, LLM engine and the test-time-scaling layer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class NPUError(ReproError):
+    """Base class for errors raised by the NPU hardware model."""
+
+
+class TCMAllocationError(NPUError):
+    """Raised when a TCM allocation request cannot be satisfied."""
+
+
+class TCMAccessError(NPUError):
+    """Raised on out-of-bounds or misaligned TCM access."""
+
+
+class AddressSpaceError(NPUError):
+    """Raised when a mapping exceeds the NPU virtual address space.
+
+    Models the 32-bit (and, on Snapdragon 8 Gen 2, effectively 2 GiB)
+    virtual-address-space limitation discussed in Sections 7.2.1/7.2.2 of
+    the paper.
+    """
+
+
+class RegisterError(NPUError):
+    """Raised on invalid HVX register usage (bad index, wrong width)."""
+
+
+class TileShapeError(NPUError):
+    """Raised when a matrix does not decompose into whole HMX tiles."""
+
+
+class DMAError(NPUError):
+    """Raised on invalid DMA descriptor (bad shape, overlapping rows)."""
+
+
+class QuantizationError(ReproError):
+    """Base class for quantization subsystem errors."""
+
+
+class GroupSizeError(QuantizationError):
+    """Raised when a tensor cannot be split into whole quantization groups."""
+
+
+class CodebookError(QuantizationError):
+    """Raised for invalid 4-bit codebook definitions."""
+
+
+class KernelError(ReproError):
+    """Base class for kernel-level errors."""
+
+
+class LUTError(KernelError):
+    """Raised for invalid lookup-table construction or addressing."""
+
+
+class ModelConfigError(ReproError):
+    """Raised for invalid or unknown LLM model configurations."""
+
+
+class EngineError(ReproError):
+    """Raised by the inference engine (scheduling, KV-cache, placement)."""
+
+
+class ScalingError(ReproError):
+    """Raised by the test-time-scaling layer (bad budget, empty beams)."""
+
+
+class HarnessError(ReproError):
+    """Raised by the experiment harness (unknown experiment id, etc.)."""

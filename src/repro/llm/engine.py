@@ -1,0 +1,164 @@
+"""Inference engine: prefill/decode scheduling and device placement.
+
+Mirrors the paper's system structure (§6): the NPU runs projection GEMMs
+and attention; the CPU keeps embeddings and the lm_head; rpcmem shared
+buffers hold weights, KV cache and activations, all charged against the
+NPU session's virtual address space (which is what prevents 3B-parameter
+models from running on Snapdragon 8 Gen 2 — §7.2.1/7.2.2).
+
+The engine supports the batched decode that test-time scaling needs:
+one shared-prompt prefill, a fork into N candidate sequences, then
+lock-step batch decode where each step is a single batch-N forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import EngineError
+from ..npu.memory import MultiSessionHeap, RpcMemHeap
+from ..npu.soc import Device
+from .kv_cache import KVCache
+from .model import NPUTransformer, StepCost
+from .sampler import Sampler
+
+__all__ = ["GenerationResult", "InferenceEngine"]
+
+@dataclass
+class GenerationResult:
+    """Tokens plus cost bookkeeping for one generation call."""
+
+    sequences: List[List[int]]
+    prefill_cost: StepCost
+    decode_costs: List[StepCost] = field(default_factory=list)
+
+    @property
+    def n_decode_steps(self) -> int:
+        return len(self.decode_costs)
+
+
+class InferenceEngine:
+    """Drives an :class:`NPUTransformer` through prefill and batch decode."""
+
+    def __init__(self, model: NPUTransformer, batch: int, max_context: int,
+                 device: Optional[Device] = None, n_sessions: int = 1) -> None:
+        if batch <= 0 or max_context <= 0:
+            raise EngineError(
+                f"batch/context must be positive, got {batch}/{max_context}")
+        if n_sessions <= 0:
+            raise EngineError(f"need at least one NPU session, got {n_sessions}")
+        self.model = model
+        self.batch = batch
+        self.max_context = max_context
+        self.device = device
+        self.n_sessions = n_sessions
+        self.cache: KVCache = model.new_cache(batch, max_context)
+        self.heap: Optional[MultiSessionHeap] = None
+        if device is not None:
+            self._map_buffers(device)
+
+    def _map_buffers(self, device: Device) -> None:
+        """Map weights, KV cache and workspace into the NPU VA space.
+
+        Raises :class:`~repro.errors.AddressSpaceError` when a session
+        does not fit — the 8 Gen 2 failure mode for >= 3B models.  With
+        ``n_sessions > 1`` the weights and KV cache shard across sessions
+        (the paper's §8c mitigation).
+        """
+        cfg = self.model.config
+        heap = MultiSessionHeap(self.n_sessions, device.npu.npu_va_space_bytes)
+        heap.alloc_sharded(cfg.npu_weight_bytes(), name=f"{cfg.name}-weights")
+        heap.alloc_sharded(cfg.kv_cache_bytes(self.max_context, self.batch),
+                           name=f"{cfg.name}-kv")
+        for i in range(self.n_sessions):
+            heap.sessions[i].alloc(cfg.NPU_WORKSPACE_BYTES,
+                                   name=f"workspace[{i}]")
+        self.heap = heap
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all cached sequences."""
+        self.cache = self.model.new_cache(self.batch, self.max_context)
+
+    def prefill(self, prompt: Sequence[int], seq: int = 0) -> "tuple[np.ndarray, StepCost]":
+        """Run the prompt through sequence slot ``seq``.
+
+        Returns the logits of the *last* prompt token and the step cost.
+        """
+        prompt = list(prompt)
+        if not prompt:
+            raise EngineError("cannot prefill an empty prompt")
+        if len(prompt) + 1 > self.max_context:
+            raise EngineError(
+                f"prompt of {len(prompt)} tokens exceeds context {self.max_context}")
+        tokens = np.asarray(prompt, dtype=np.int64)[np.newaxis, :]
+        logits, cost = self.model.forward(tokens, self.cache, sequences=[seq])
+        return logits[0, -1], cost
+
+    def fork_prompt(self, source: int = 0,
+                    targets: Optional[List[int]] = None) -> None:
+        """Share one prefilled prompt across candidate slots."""
+        if targets is None:
+            targets = [i for i in range(self.batch) if i != source]
+        self.cache.fork(source, targets)
+
+    def decode_step(self, tokens: Sequence[int],
+                    sequences: Optional[List[int]] = None
+                    ) -> "tuple[np.ndarray, StepCost]":
+        """One lock-step decode: one new token per listed sequence.
+
+        Returns ``(batch, vocab)`` logits and the step cost.  This is the
+        workload whose batch dimension rides the idle HMX capacity.
+        """
+        token_arr = np.asarray(list(tokens), dtype=np.int64)[:, np.newaxis]
+        logits, cost = self.model.forward(token_arr, self.cache,
+                                          sequences=sequences)
+        return logits[:, 0, :], cost
+
+    # ------------------------------------------------------------------
+    def generate(self, prompt: Sequence[int], max_new_tokens: int,
+                 sampler: Optional[Sampler] = None,
+                 n_candidates: Optional[int] = None,
+                 eos_id: Optional[int] = None) -> GenerationResult:
+        """Prefill once, fork, then batch-decode N candidate continuations."""
+        if max_new_tokens <= 0:
+            raise EngineError(f"max_new_tokens must be positive, got {max_new_tokens}")
+        n = self.batch if n_candidates is None else n_candidates
+        if n > self.batch:
+            raise EngineError(f"{n} candidates exceed engine batch {self.batch}")
+        if len(prompt) + max_new_tokens > self.max_context:
+            raise EngineError(
+                f"prompt {len(prompt)} + {max_new_tokens} new tokens exceed "
+                f"context {self.max_context}")
+        sampler = sampler if sampler is not None else Sampler(temperature=0.8)
+        self.reset()
+
+        last_logits, prefill_cost = self.prefill(prompt, seq=0)
+        if n > 1:
+            self.fork_prompt(0, list(range(1, n)))
+
+        sequences = list(range(n))
+        current = [int(t) for t in sampler.sample_batch(
+            np.tile(last_logits, (n, 1)))]
+        outputs: List[List[int]] = [[t] for t in current]
+        finished = [eos_id is not None and t == eos_id for t in current]
+        result = GenerationResult(sequences=outputs, prefill_cost=prefill_cost)
+
+        for _ in range(max_new_tokens - 1):
+            if all(finished):
+                break
+            logits, cost = self.decode_step(current, sequences)
+            result.decode_costs.append(cost)
+            next_tokens = sampler.sample_batch(logits)
+            for i in range(n):
+                if finished[i]:
+                    continue
+                token = int(next_tokens[i])
+                outputs[i].append(token)
+                current[i] = token
+                if eos_id is not None and token == eos_id:
+                    finished[i] = True
+        return result

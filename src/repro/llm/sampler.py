@@ -1,0 +1,78 @@
+"""Token samplers: greedy, temperature, top-k and nucleus (top-p).
+
+Parallel test-time scaling draws *independent* samples per candidate, so
+the sampler owns its RNG and exposes a vectorized batch interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import EngineError
+
+__all__ = ["Sampler", "softmax_logits"]
+
+
+def softmax_logits(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis (float64 internals)."""
+    arr = np.asarray(logits, dtype=np.float64)
+    shifted = arr - arr.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+@dataclass
+class Sampler:
+    """Sampling policy applied to one logits row at a time.
+
+    ``temperature = 0`` means greedy; ``top_k``/``top_p`` restrict the
+    candidate set before renormalization.
+    """
+
+    temperature: float = 1.0
+    top_k: Optional[int] = None
+    top_p: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.temperature < 0:
+            raise EngineError(f"temperature must be >= 0, got {self.temperature}")
+        if self.top_k is not None and self.top_k <= 0:
+            raise EngineError(f"top_k must be positive, got {self.top_k}")
+        if self.top_p is not None and not 0 < self.top_p <= 1:
+            raise EngineError(f"top_p must be in (0, 1], got {self.top_p}")
+        self._rng = np.random.default_rng(self.seed)
+
+    def reseed(self, seed: int) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, logits: np.ndarray) -> int:
+        """Draw one token id from a single logits vector."""
+        row = np.asarray(logits, dtype=np.float64).ravel()
+        if row.size == 0:
+            raise EngineError("cannot sample from empty logits")
+        if self.temperature == 0.0:
+            return int(row.argmax())
+        probs = softmax_logits(row / self.temperature)
+        if self.top_k is not None and self.top_k < probs.size:
+            cutoff = np.partition(probs, -self.top_k)[-self.top_k]
+            probs = np.where(probs >= cutoff, probs, 0.0)
+        if self.top_p is not None:
+            order = np.argsort(probs)[::-1]
+            cumulative = np.cumsum(probs[order])
+            keep = cumulative - probs[order] < self.top_p
+            mask = np.zeros_like(probs, dtype=bool)
+            mask[order[keep]] = True
+            probs = np.where(mask, probs, 0.0)
+        total = probs.sum()
+        if total <= 0:
+            return int(row.argmax())
+        return int(self._rng.choice(probs.size, p=probs / total))
+
+    def sample_batch(self, logits: np.ndarray) -> np.ndarray:
+        """Draw one token per row of a ``(batch, vocab)`` logits matrix."""
+        matrix = np.atleast_2d(np.asarray(logits))
+        return np.array([self.sample(row) for row in matrix], dtype=np.int64)

@@ -1,0 +1,198 @@
+"""Speculative decoding on the batched-verification engine (§9).
+
+The paper observes that generalized speculative decoding and parallel
+test-time scaling both belong to the Generate-then-Verify framework and
+that "our system can theoretically support these applications
+seamlessly": verifying k drafted tokens in one target-model forward pass
+rides exactly the same idle HMX capacity as a batch-k decode, because a
+[k, hidden] activation matrix occupies the same 32-row tile as a single
+token.
+
+This module implements that application on the simulated-NPU stack with
+the standard draft-k / verify-once loop:
+
+* a small *draft* model proposes ``k`` tokens autoregressively;
+* the *target* model scores all ``k`` positions in one forward pass;
+* tokens are accepted left-to-right — greedily (accept while the
+  target's argmax matches; provably identical output to pure greedy
+  target decoding) or stochastically with the ``min(1, p_t/p_d)`` rule
+  and residual resampling.
+
+Cache discipline: both KV caches always hold every *committed* token
+except the newest one (the ``pending`` token).  Drafting starts by
+feeding ``pending`` to the draft model; verification feeds ``[pending,
+d_1, ..., d_{k-1}]`` to the target, so row ``i`` scores draft token
+``d_{i+1}`` and no extra re-priming passes are ever needed.  On a
+rejection at position ``j`` both caches truncate to the committed
+length minus one, restoring the invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import EngineError
+from .kv_cache import KVCache
+from .model import NPUTransformer, StepCost
+from .sampler import softmax_logits
+
+__all__ = ["SpeculativeResult", "SpeculativeDecoder"]
+
+
+@dataclass
+class SpeculativeResult:
+    """Outcome of one speculative generation call."""
+
+    tokens: List[int]
+    target_forward_passes: int = 0
+    draft_forward_passes: int = 0
+    accepted_drafts: int = 0
+    proposed_drafts: int = 0
+    target_cost: StepCost = field(default_factory=StepCost)
+    draft_cost: StepCost = field(default_factory=StepCost)
+
+    @property
+    def acceptance_rate(self) -> float:
+        if self.proposed_drafts == 0:
+            return 0.0
+        return self.accepted_drafts / self.proposed_drafts
+
+    @property
+    def tokens_per_target_pass(self) -> float:
+        if self.target_forward_passes == 0:
+            return 0.0
+        return len(self.tokens) / self.target_forward_passes
+
+
+class SpeculativeDecoder:
+    """Draft-then-verify decoding across two NPU transformers.
+
+    Both models must share a vocabulary.  ``draft_len`` (k) is the
+    number of tokens drafted per verification round; for k <= 31 the
+    verification forward still fits a single HMX activation tile.
+    """
+
+    def __init__(self, target: NPUTransformer, draft: NPUTransformer,
+                 draft_len: int = 4) -> None:
+        if target.config.vocab_size != draft.config.vocab_size:
+            raise EngineError(
+                f"vocabulary mismatch: target {target.config.vocab_size} vs "
+                f"draft {draft.config.vocab_size}")
+        if not 1 <= draft_len <= 31:
+            raise EngineError(
+                f"draft length must be in [1, 31] (one HMX tile), got {draft_len}")
+        self.target = target
+        self.draft = draft
+        self.draft_len = draft_len
+
+    # ------------------------------------------------------------------
+    def _forward(self, model: NPUTransformer, cache: KVCache,
+                 tokens: List[int], cost_sink: StepCost) -> np.ndarray:
+        arr = np.asarray(tokens, dtype=np.int64)[np.newaxis, :]
+        logits, cost = model.forward(arr, cache)
+        cost_sink.merge(cost)
+        return logits[0]
+
+    @staticmethod
+    def _sample(logits: np.ndarray, temperature: float,
+                rng: np.random.Generator) -> "tuple[int, Optional[np.ndarray]]":
+        if temperature == 0.0:
+            return int(np.asarray(logits).argmax()), None
+        probs = softmax_logits(np.asarray(logits) / temperature)
+        return int(rng.choice(probs.size, p=probs)), probs
+
+    # ------------------------------------------------------------------
+    def generate(self, prompt: List[int], max_new_tokens: int,
+                 temperature: float = 0.0, seed: int = 0) -> SpeculativeResult:
+        """Generate ``max_new_tokens`` tokens past the prompt."""
+        if not prompt:
+            raise EngineError("cannot decode from an empty prompt")
+        if max_new_tokens <= 0:
+            raise EngineError(
+                f"max_new_tokens must be positive, got {max_new_tokens}")
+        rng = np.random.default_rng(seed)
+        capacity = len(prompt) + max_new_tokens + self.draft_len + 2
+        target_cache = self.target.new_cache(1, capacity)
+        draft_cache = self.draft.new_cache(1, capacity)
+        result = SpeculativeResult(tokens=[])
+
+        # establish the invariant: caches hold the prompt minus its last
+        # token, which becomes the pending token
+        committed = list(prompt)
+        pending = committed[-1]
+        if len(committed) > 1:
+            self._forward(self.target, target_cache, committed[:-1],
+                          result.target_cost)
+            result.target_forward_passes += 1
+            self._forward(self.draft, draft_cache, committed[:-1],
+                          result.draft_cost)
+            result.draft_forward_passes += 1
+
+        generated = 0
+        while generated < max_new_tokens:
+            k = min(self.draft_len, max_new_tokens - generated)
+
+            # --- draft k tokens autoregressively ----------------------
+            drafted: List[int] = []
+            draft_probs: List[Optional[np.ndarray]] = []
+            feed = pending
+            for _ in range(k):
+                logits = self._forward(self.draft, draft_cache, [feed],
+                                       result.draft_cost)[-1]
+                result.draft_forward_passes += 1
+                token, probs = self._sample(logits, temperature, rng)
+                drafted.append(token)
+                draft_probs.append(probs)
+                feed = token
+            result.proposed_drafts += k
+
+            # --- verify in ONE target forward --------------------------
+            verify_in = [pending] + drafted[:-1]
+            verify_logits = self._forward(self.target, target_cache,
+                                          verify_in, result.target_cost)
+            result.target_forward_passes += 1
+
+            n_accept = 0
+            replacement: Optional[int] = None
+            for i, token in enumerate(drafted):
+                row = verify_logits[i]
+                if temperature == 0.0:
+                    expected = int(row.argmax())
+                    if token == expected:
+                        n_accept += 1
+                    else:
+                        replacement = expected
+                        break
+                else:
+                    p_t = softmax_logits(row / temperature)
+                    p_d = draft_probs[i]
+                    if rng.random() < min(1.0, p_t[token]
+                                          / max(float(p_d[token]), 1e-12)):
+                        n_accept += 1
+                    else:
+                        residual = np.maximum(p_t - p_d, 0.0)
+                        total = residual.sum()
+                        replacement = int(rng.choice(residual.size,
+                                                     p=residual / total)) \
+                            if total > 0 else int(p_t.argmax())
+                        break
+            result.accepted_drafts += n_accept
+
+            # --- commit and restore the cache invariant ----------------
+            accepted = drafted[:n_accept]
+            committed.extend(accepted)
+            result.tokens.extend(accepted)
+            generated += len(accepted)
+            if replacement is not None and generated < max_new_tokens:
+                committed.append(replacement)
+                result.tokens.append(replacement)
+                generated += 1
+            pending = committed[-1]
+            target_cache.truncate(0, len(committed) - 1)
+            draft_cache.truncate(0, len(committed) - 1)
+
+        result.tokens = result.tokens[:max_new_tokens]
+        return result

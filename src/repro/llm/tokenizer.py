@@ -1,0 +1,42 @@
+"""Byte-level toy tokenizer for examples and integration tests.
+
+The reproduction uses synthetic weights, so no trained vocabulary exists;
+a reversible byte-level tokenizer keeps the examples runnable end-to-end
+(prompt in, text out) while exercising the same token-id plumbing a real
+tokenizer would.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ModelConfigError
+
+__all__ = ["ByteTokenizer"]
+
+
+class ByteTokenizer:
+    """Maps text to byte values plus BOS/EOS specials.
+
+    Token ids 0-255 are raw bytes; ``bos_id`` = 256 and ``eos_id`` = 257.
+    Requires a model vocabulary of at least 258 entries.
+    """
+
+    N_SPECIALS = 2
+
+    def __init__(self, vocab_size: int = 512) -> None:
+        if vocab_size < 256 + self.N_SPECIALS:
+            raise ModelConfigError(
+                f"byte tokenizer needs a vocab of >= {256 + self.N_SPECIALS}, "
+                f"got {vocab_size}")
+        self.vocab_size = vocab_size
+        self.bos_id = 256
+        self.eos_id = 257
+
+    def encode(self, text: str, add_bos: bool = True) -> List[int]:
+        ids = list(text.encode("utf-8"))
+        return [self.bos_id] + ids if add_bos else ids
+
+    def decode(self, ids: List[int]) -> str:
+        payload = bytes(i for i in ids if 0 <= i < 256)
+        return payload.decode("utf-8", errors="replace")

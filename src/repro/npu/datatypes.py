@@ -1,0 +1,177 @@
+"""Bit-level floating-point helpers for the Hexagon NPU model.
+
+The paper's kernels manipulate IEEE-754 binary16 values at the bit level:
+
+* the LUT-based exponential (Section 5.2.1) drops the FP16 sign bit and
+  left-shifts the remaining 15 bits by one to form a byte offset into a
+  64 KiB table;
+* the polynomial ``exp2`` baseline splits an input into integer part ``k``
+  and fractional part ``f`` and adds ``k`` directly to the exponent field
+  of the IEEE representation of ``2**f``;
+* HVX floating-point instructions on NPUs prior to V79 produce results in
+  an internal *qfloat* format which must be converted back to IEEE with
+  extra instructions (Section 5.2.2).
+
+This module provides those primitives as pure NumPy functions so the rest
+of the simulator can stay vectorized.  All functions are deterministic and
+allocation-light; they form the numerical foundation for the accuracy
+experiments in Tables 4 and 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "FP16_BITS",
+    "FP16_EXP_BITS",
+    "FP16_MANT_BITS",
+    "FP16_EXP_BIAS",
+    "fp16_to_bits",
+    "bits_to_fp16",
+    "fp16_sign",
+    "fp16_exponent_field",
+    "fp16_mantissa_field",
+    "compose_fp16",
+    "fp32_to_bits",
+    "bits_to_fp32",
+    "add_to_exponent_fp32",
+    "add_to_exponent_fp16",
+    "split_int_frac",
+    "qfloat_round",
+    "QFloatMode",
+]
+
+FP16_BITS = 16
+FP16_EXP_BITS = 5
+FP16_MANT_BITS = 10
+FP16_EXP_BIAS = 15
+
+_FP16_SIGN_MASK = np.uint16(0x8000)
+_FP16_EXP_MASK = np.uint16(0x7C00)
+_FP16_MANT_MASK = np.uint16(0x03FF)
+
+
+def fp16_to_bits(values: np.ndarray) -> np.ndarray:
+    """Reinterpret an FP16 array as its uint16 bit pattern."""
+    arr = np.asarray(values, dtype=np.float16)
+    return arr.view(np.uint16)
+
+
+def bits_to_fp16(bits: np.ndarray) -> np.ndarray:
+    """Reinterpret a uint16 array as FP16 values."""
+    arr = np.asarray(bits, dtype=np.uint16)
+    return arr.view(np.float16)
+
+
+def fp16_sign(values: np.ndarray) -> np.ndarray:
+    """Return the sign bit (0 or 1) of each FP16 value."""
+    return (fp16_to_bits(values) >> 15).astype(np.uint16)
+
+
+def fp16_exponent_field(values: np.ndarray) -> np.ndarray:
+    """Return the raw 5-bit exponent field of each FP16 value."""
+    return ((fp16_to_bits(values) & _FP16_EXP_MASK) >> FP16_MANT_BITS).astype(np.uint16)
+
+
+def fp16_mantissa_field(values: np.ndarray) -> np.ndarray:
+    """Return the raw 10-bit mantissa field of each FP16 value."""
+    return (fp16_to_bits(values) & _FP16_MANT_MASK).astype(np.uint16)
+
+
+def compose_fp16(sign: np.ndarray, exponent: np.ndarray, mantissa: np.ndarray) -> np.ndarray:
+    """Assemble FP16 values from raw sign/exponent/mantissa fields.
+
+    Fields are masked to their legal widths, matching how hardware bit
+    insertion would silently truncate out-of-range values.
+    """
+    s = (np.asarray(sign, dtype=np.uint16) & np.uint16(1)) << np.uint16(15)
+    e = (np.asarray(exponent, dtype=np.uint16) & np.uint16(0x1F)) << np.uint16(FP16_MANT_BITS)
+    m = np.asarray(mantissa, dtype=np.uint16) & _FP16_MANT_MASK
+    return bits_to_fp16(s | e | m)
+
+
+def fp32_to_bits(values: np.ndarray) -> np.ndarray:
+    """Reinterpret an FP32 array as its uint32 bit pattern."""
+    arr = np.asarray(values, dtype=np.float32)
+    return arr.view(np.uint32)
+
+
+def bits_to_fp32(bits: np.ndarray) -> np.ndarray:
+    """Reinterpret a uint32 array as FP32 values."""
+    arr = np.asarray(bits, dtype=np.uint32)
+    return arr.view(np.float32)
+
+
+def add_to_exponent_fp32(values: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Scale FP32 ``values`` by ``2**k`` via direct exponent-field addition.
+
+    This is the hardware trick used by polynomial ``exp2`` kernels: instead
+    of computing ``2**k`` and multiplying, the integer ``k`` is added to
+    the 8-bit exponent field of the IEEE-754 representation.  Inputs whose
+    adjusted exponent would underflow or overflow produce the same wrapped
+    bit patterns the hardware would, so callers must range-limit ``k``.
+    """
+    bits = fp32_to_bits(values)
+    shifted = (np.asarray(k, dtype=np.int64) << 23).astype(np.int64)
+    out = (bits.astype(np.int64) + shifted).astype(np.uint32)
+    return bits_to_fp32(out)
+
+
+def add_to_exponent_fp16(values: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Scale FP16 ``values`` by ``2**k`` via exponent-field addition."""
+    bits = fp16_to_bits(values)
+    shifted = (np.asarray(k, dtype=np.int32) << FP16_MANT_BITS).astype(np.int32)
+    out = (bits.astype(np.int32) + shifted).astype(np.uint16)
+    return bits_to_fp16(out)
+
+
+def split_int_frac(values: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Split values into integer part ``k`` and fractional part ``f``.
+
+    ``k = floor(x)`` and ``f = x - k`` with ``0 <= f < 1``, the
+    decomposition used for ``2**x = 2**k * 2**f`` in the paper's
+    polynomial exponential baseline (Section 5.2.1).
+    """
+    arr = np.asarray(values, dtype=np.float32)
+    k = np.floor(arr)
+    f = (arr - k).astype(np.float32)
+    # tiny negatives make f round to exactly 1.0 in float32; renormalize
+    carry = f >= 1.0
+    k = k + carry
+    f = np.where(carry, np.float32(0.0), f)
+    return k.astype(np.int32), f.astype(np.float32)
+
+
+class QFloatMode:
+    """Enumeration of HVX floating-point result formats.
+
+    Hexagon NPUs prior to V79 produce HVX float results in an internal
+    *qfloat* format; converting back to IEEE costs extra instructions
+    (Section 5.2.2).  V79 produces IEEE directly.  Functionally we model
+    qfloat as IEEE FP16 with an extra rounding step — the observable
+    difference on real silicon is confined to sub-ULP rounding behaviour,
+    while the *cost* difference (the extra conversion instructions) is
+    tracked by the timing model.
+    """
+
+    QFLOAT = "qfloat"
+    IEEE = "ieee"
+
+    _ALL = (QFLOAT, IEEE)
+
+    @classmethod
+    def validate(cls, mode: str) -> str:
+        if mode not in cls._ALL:
+            raise ValueError(f"unknown qfloat mode: {mode!r}; expected one of {cls._ALL}")
+        return mode
+
+
+def qfloat_round(values: np.ndarray) -> np.ndarray:
+    """Apply the qfloat -> IEEE conversion rounding step.
+
+    The conversion re-rounds through FP16; numerically this is idempotent
+    for values already representable in FP16, which models the conversion
+    as value-preserving while the timing model charges for it.
+    """
+    return np.asarray(values, dtype=np.float16)

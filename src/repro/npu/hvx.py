@@ -1,0 +1,336 @@
+"""Functional model of the Hexagon Vector eXtensions (HVX) unit.
+
+The HVX unit (Section 3.1.2 of the paper) provides 32 vector registers of
+1024 bits (128 bytes) each.  All general-purpose computation in the
+paper's kernels — dequantization, Softmax, normalization — runs on HVX,
+so this module implements the instruction subset those kernels need:
+
+* ``vlut16`` — 16-entry table lookup producing a 16-bit value per input
+  byte (Section 5.2.2, Fig. 9);
+* ``vgather`` — gather of 64 2-byte elements from TCM per instruction,
+  with a 16-bit byte-offset window (Section 5.2.1);
+* ``vshuff``/``vdeal`` — cross-lane interleave/deinterleave used to build
+  the HMX tile layout (Fig. 4a);
+* FP16 arithmetic (``vadd``, ``vsub``, ``vmpy``, ``vmax``, ``vmin``) with
+  qfloat-format emulation for generations prior to V79;
+* byte-wise logic and shifts used by the mask-unpack-convert baseline.
+
+Semantically the model is *vector-width faithful*: every operation
+processes whole 128-byte vectors and the per-opcode instruction counts it
+records are exactly what the timing model (:mod:`repro.npu.timing`)
+converts into cycles.  Kernels therefore pay — in simulated time — for
+partially filled registers, which is precisely the inefficiency the
+paper's super-group coalescing (Section 5.1.2) removes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import LUTError, RegisterError
+from .datatypes import QFloatMode, qfloat_round
+
+__all__ = [
+    "VECTOR_BYTES",
+    "NUM_VECTOR_REGISTERS",
+    "FP16_LANES",
+    "VGATHER_ELEMENTS",
+    "VGATHER_MAX_OFFSET",
+    "InstructionTrace",
+    "HVXContext",
+    "vectors_for_bytes",
+]
+
+VECTOR_BYTES = 128
+NUM_VECTOR_REGISTERS = 32
+FP16_LANES = VECTOR_BYTES // 2
+VGATHER_ELEMENTS = 64
+VGATHER_MAX_OFFSET = 65536
+
+
+def vectors_for_bytes(num_bytes: int) -> int:
+    """Number of 128-byte HVX vectors needed to hold ``num_bytes``."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    return -(-num_bytes // VECTOR_BYTES)
+
+
+class InstructionTrace:
+    """Per-opcode instruction counter for one simulated kernel invocation.
+
+    The trace is the contract between the functional model and the timing
+    model: kernels record *what* executed, timing converts it to *when*.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def record(self, opcode: str, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"instruction count must be non-negative, got {count}")
+        self._counts[opcode] += count
+
+    def count(self, opcode: str) -> int:
+        return self._counts.get(opcode, 0)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def merge(self, other: "InstructionTrace") -> None:
+        self._counts.update(other._counts)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"InstructionTrace({body})"
+
+
+class HVXContext:
+    """One HVX execution context: vector semantics plus instruction trace.
+
+    Parameters
+    ----------
+    qfloat_mode:
+        ``QFloatMode.QFLOAT`` for generations before V79 (each float op
+        yields the internal qfloat format; converting back to IEEE costs
+        a ``vconv`` instruction), ``QFloatMode.IEEE`` for V79+.
+    trace:
+        Optional externally owned trace; a fresh one is created otherwise.
+    """
+
+    def __init__(self, qfloat_mode: str = QFloatMode.QFLOAT,
+                 trace: Optional[InstructionTrace] = None) -> None:
+        self.qfloat_mode = QFloatMode.validate(qfloat_mode)
+        self.trace = trace if trace is not None else InstructionTrace()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _vectors(self, array: np.ndarray) -> int:
+        return vectors_for_bytes(np.asarray(array).nbytes)
+
+    def _record_vec_op(self, opcode: str, array: np.ndarray) -> None:
+        self.trace.record(opcode, self._vectors(array))
+
+    def _maybe_qfloat(self, values: np.ndarray, convert_to_ieee: bool) -> np.ndarray:
+        """Apply the qfloat round-trip and charge conversion instructions.
+
+        On pre-V79 hardware every HVX float result is in qfloat format;
+        code that needs an IEEE value (e.g. before storing to memory read
+        by HMX) must pay one ``vconv`` per vector.
+        """
+        if self.qfloat_mode == QFloatMode.QFLOAT and convert_to_ieee:
+            self._record_vec_op("vconv", values)
+            return qfloat_round(values)
+        return values.astype(np.float16)
+
+    # ------------------------------------------------------------------
+    # table lookup instructions
+    # ------------------------------------------------------------------
+    def vlut16(self, indices: np.ndarray, table: np.ndarray) -> np.ndarray:
+        """16-entry table lookup: one 16-bit output per input byte.
+
+        ``indices`` are bytes whose low nibble selects one of 16 table
+        entries (Fig. 9 uses 4-bit quantized values placed one per byte).
+        Each 128-byte source register yields a register *pair* of 16-bit
+        results; the instruction count is one ``vlut16`` per source
+        vector, matching the paper's description.
+        """
+        table = np.asarray(table)
+        if table.size != 16:
+            raise LUTError(f"vlut16 table must have 16 entries, got {table.size}")
+        idx = np.asarray(indices, dtype=np.uint8)
+        if np.any(idx > 15):
+            raise LUTError("vlut16 indices must be 4-bit values (0..15)")
+        self.trace.record("vlut16", vectors_for_bytes(idx.nbytes))
+        return table[idx]
+
+    def vgather(self, table_bytes: np.ndarray, byte_offsets: np.ndarray) -> np.ndarray:
+        """Gather 2-byte elements from a TCM-resident table.
+
+        Models the HVX ``vgather`` variant the paper uses for the exp LUT:
+        64 2-byte elements per instruction, byte offsets limited to a
+        64 KiB window.  ``table_bytes`` is the raw table memory; offsets
+        index *bytes* and must be even (element-aligned) and below
+        :data:`VGATHER_MAX_OFFSET`.
+        """
+        table_bytes = np.asarray(table_bytes, dtype=np.uint8)
+        offsets = np.asarray(byte_offsets, dtype=np.int64)
+        if offsets.size == 0:
+            return np.empty(0, dtype=np.uint16)
+        if np.any(offsets < 0) or np.any(offsets + 1 >= min(table_bytes.size + 1,
+                                                            VGATHER_MAX_OFFSET + 1)):
+            raise LUTError(
+                "vgather byte offsets out of range: max offset "
+                f"{int(offsets.max())} vs window {min(table_bytes.size, VGATHER_MAX_OFFSET)}"
+            )
+        if np.any(offsets % 2 != 0):
+            raise LUTError("vgather offsets must be 2-byte aligned")
+        n_instr = -(-offsets.size // VGATHER_ELEMENTS)
+        self.trace.record("vgather", n_instr)
+        lo = table_bytes[offsets].astype(np.uint16)
+        hi = table_bytes[offsets + 1].astype(np.uint16)
+        return (hi << np.uint16(8)) | lo
+
+    # ------------------------------------------------------------------
+    # shuffles
+    # ------------------------------------------------------------------
+    def vshuff_pair_rows(self, row_even: np.ndarray, row_odd: np.ndarray) -> np.ndarray:
+        """Interleave two equal-length rows element-wise.
+
+        This is the cross-lane shuffle the paper names as the typical way
+        to construct the HMX tile layout: two adjacent 32-element rows are
+        stored as the transposed 2x32 sub-matrix (Fig. 4a), i.e.
+        ``[e0, o0, e1, o1, ...]``.
+        """
+        row_even = np.asarray(row_even)
+        row_odd = np.asarray(row_odd)
+        if row_even.shape != row_odd.shape:
+            raise RegisterError(
+                f"vshuff operands must match: {row_even.shape} vs {row_odd.shape}")
+        out = np.empty(row_even.size * 2, dtype=row_even.dtype)
+        out[0::2] = row_even.ravel()
+        out[1::2] = row_odd.ravel()
+        self.trace.record("vshuff", max(1, self._vectors(out) // 2))
+        return out
+
+    def vdeal_pair_rows(self, interleaved: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Inverse of :meth:`vshuff_pair_rows` (deinterleave)."""
+        arr = np.asarray(interleaved).ravel()
+        if arr.size % 2 != 0:
+            raise RegisterError("vdeal requires an even element count")
+        self.trace.record("vdeal", max(1, self._vectors(arr) // 2))
+        return arr[0::2].copy(), arr[1::2].copy()
+
+    def vror(self, data: np.ndarray, byte_rotate: int) -> np.ndarray:
+        """Rotate the byte lanes of a vector-sized array."""
+        arr = np.asarray(data)
+        flat = arr.view(np.uint8).ravel()
+        self._record_vec_op("vror", arr)
+        rotated = np.roll(flat, -byte_rotate % flat.size if flat.size else 0)
+        return rotated.view(arr.dtype).reshape(arr.shape)
+
+    # ------------------------------------------------------------------
+    # FP16 arithmetic
+    # ------------------------------------------------------------------
+    def vadd_hf(self, a: np.ndarray, b: np.ndarray, to_ieee: bool = False) -> np.ndarray:
+        with np.errstate(over="ignore", invalid="ignore"):
+            out = (np.asarray(a, dtype=np.float16) + np.asarray(b, dtype=np.float16))
+        self._record_vec_op("vadd_hf", out)
+        return self._maybe_qfloat(out, to_ieee)
+
+    def vsub_hf(self, a: np.ndarray, b: np.ndarray, to_ieee: bool = False) -> np.ndarray:
+        with np.errstate(over="ignore", invalid="ignore"):
+            out = (np.asarray(a, dtype=np.float16) - np.asarray(b, dtype=np.float16))
+        self._record_vec_op("vsub_hf", out)
+        return self._maybe_qfloat(out, to_ieee)
+
+    def vmpy_hf(self, a: np.ndarray, b: np.ndarray, to_ieee: bool = False) -> np.ndarray:
+        with np.errstate(over="ignore", invalid="ignore"):
+            out = (np.asarray(a, dtype=np.float16) * np.asarray(b, dtype=np.float16))
+        self._record_vec_op("vmpy_hf", out)
+        return self._maybe_qfloat(out, to_ieee)
+
+    def vmax_hf(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        out = np.maximum(np.asarray(a, dtype=np.float16), np.asarray(b, dtype=np.float16))
+        self._record_vec_op("vmax_hf", out)
+        return out
+
+    def vmin_hf(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        out = np.minimum(np.asarray(a, dtype=np.float16), np.asarray(b, dtype=np.float16))
+        self._record_vec_op("vmin_hf", out)
+        return out
+
+    def vmpy_qf32(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """FP16 multiply with FP32 (qf32) result, used for accumulation."""
+        out = np.asarray(a, dtype=np.float32) * np.asarray(b, dtype=np.float32)
+        self._record_vec_op("vmpy_qf32", out)
+        return out
+
+    def vadd_qf32(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        out = np.asarray(a, dtype=np.float32) + np.asarray(b, dtype=np.float32)
+        self._record_vec_op("vadd_qf32", out)
+        return out
+
+    def vsplat_hf(self, scalar: float, lanes: int) -> np.ndarray:
+        """Broadcast a scalar into all FP16 lanes of enough vectors."""
+        out = np.full(lanes, np.float16(scalar), dtype=np.float16)
+        self._record_vec_op("vsplat", out)
+        return out
+
+    # ------------------------------------------------------------------
+    # byte logic / shifts (mask-unpack-convert baseline path)
+    # ------------------------------------------------------------------
+    def vand(self, a: np.ndarray, mask: int) -> np.ndarray:
+        arr = np.asarray(a)
+        self._record_vec_op("vand", arr)
+        return arr & np.asarray(mask, dtype=arr.dtype)
+
+    def vlsr(self, a: np.ndarray, shift: int) -> np.ndarray:
+        arr = np.asarray(a)
+        self._record_vec_op("vlsr", arr)
+        return arr >> np.asarray(shift, dtype=arr.dtype)
+
+    def vasl(self, a: np.ndarray, shift: int) -> np.ndarray:
+        arr = np.asarray(a)
+        self._record_vec_op("vasl", arr)
+        return arr << np.asarray(shift, dtype=arr.dtype)
+
+    def vsub_b(self, a: np.ndarray, b: int) -> np.ndarray:
+        """Byte-wise subtract (used to recentre unpacked nibbles)."""
+        arr = np.asarray(a, dtype=np.int16)
+        self._record_vec_op("vsub_b", arr)
+        return arr - np.int16(b)
+
+    def vconv_b_to_hf(self, a: np.ndarray) -> np.ndarray:
+        """Integer-to-FP16 conversion instruction."""
+        arr = np.asarray(a)
+        self._record_vec_op("vconv_b_hf", arr)
+        out = arr.astype(np.float16)
+        if self.qfloat_mode == QFloatMode.QFLOAT:
+            # pre-V79: result lands in qfloat, pay the IEEE conversion
+            self._record_vec_op("vconv", out)
+        return out
+
+    # ------------------------------------------------------------------
+    # memory traffic
+    # ------------------------------------------------------------------
+    def vmem_load(self, array: np.ndarray) -> np.ndarray:
+        """Model a vector load: charge one ``vmem_ld`` per vector touched."""
+        arr = np.asarray(array)
+        self._record_vec_op("vmem_ld", arr)
+        return arr
+
+    def vmem_store(self, array: np.ndarray) -> np.ndarray:
+        """Model a vector store: charge one ``vmem_st`` per vector touched."""
+        arr = np.asarray(array)
+        self._record_vec_op("vmem_st", arr)
+        return arr
+
+    def vscatter(self, destination: np.ndarray, offsets: np.ndarray,
+                 values: np.ndarray) -> None:
+        """Scatter 2-byte elements to arbitrary TCM offsets.
+
+        Scatter is the expensive operation that dominates the *baseline*
+        dequantization layout in Fig. 15: each group of 64 elements costs
+        one high-latency ``vscatter`` instruction.
+        """
+        destination = np.asarray(destination)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        values = np.asarray(values)
+        if offsets.shape != values.shape:
+            raise RegisterError(
+                f"vscatter offsets/values mismatch: {offsets.shape} vs {values.shape}")
+        if offsets.size and (offsets.min() < 0 or offsets.max() >= destination.size):
+            raise RegisterError("vscatter offsets out of destination range")
+        n_instr = -(-offsets.size // VGATHER_ELEMENTS) if offsets.size else 0
+        self.trace.record("vscatter", n_instr)
+        destination[offsets] = values

@@ -1,0 +1,78 @@
+"""NPU power management: DVFS governors (§6, §7.2.3).
+
+The paper's operator library includes power management, and all power
+measurements are taken "with the performance mode enabled".  This module
+models the DVFS levels a Hexagon NPU session can request through the HAP
+power API: each governor scales the clock (and therefore every
+issue-rate-bound term of the timing model) and the dynamic power draw,
+with voltage-driven superlinear power scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from ..errors import NPUError
+from .timing import NPUGenerationTiming
+
+__all__ = ["PowerGovernor", "GOVERNORS", "apply_governor"]
+
+
+@dataclass(frozen=True)
+class PowerGovernor:
+    """One DVFS operating point.
+
+    ``clock_scale`` multiplies the NPU clock (and DMA/memory rates move
+    with the fabric, scaled by ``fabric_scale``); ``power_scale``
+    multiplies dynamic power, superlinear in frequency because voltage
+    rises with it (P ~ f * V^2).
+    """
+
+    name: str
+    clock_scale: float
+    fabric_scale: float
+    power_scale: float
+
+    def __post_init__(self) -> None:
+        if self.clock_scale <= 0 or self.fabric_scale <= 0:
+            raise NPUError(f"governor {self.name!r} has non-positive scales")
+
+
+GOVERNORS: Dict[str, PowerGovernor] = {
+    # the paper's measurement setting
+    "performance": PowerGovernor("performance", clock_scale=1.0,
+                                 fabric_scale=1.0, power_scale=1.0),
+    # default balanced governor: ~20% lower clock, ~35% lower dynamic power
+    "balanced": PowerGovernor("balanced", clock_scale=0.8,
+                              fabric_scale=0.9, power_scale=0.65),
+    # background / low-power mode
+    "efficiency": PowerGovernor("efficiency", clock_scale=0.55,
+                                fabric_scale=0.75, power_scale=0.38),
+}
+
+
+def apply_governor(generation: NPUGenerationTiming,
+                   governor: "PowerGovernor | str") -> NPUGenerationTiming:
+    """Return a generation parameter set rescaled to a DVFS level.
+
+    Compute-rate terms scale with the clock; DMA and core-path memory
+    bandwidth scale with the fabric.
+    """
+    if isinstance(governor, str):
+        try:
+            governor = GOVERNORS[governor]
+        except KeyError:
+            raise NPUError(
+                f"unknown governor {governor!r}; known: "
+                f"{sorted(GOVERNORS)}") from None
+    return replace(
+        generation,
+        clock_hz=generation.clock_hz * governor.clock_scale,
+        hmx_fp16_gflops=generation.hmx_fp16_gflops * governor.clock_scale,
+        hvx_thread_gemm_gflops=(generation.hvx_thread_gemm_gflops
+                                * governor.clock_scale),
+        dma_read_gbps=generation.dma_read_gbps * governor.fabric_scale,
+        hvx_mem_read_gbps=(generation.hvx_mem_read_gbps
+                           * governor.fabric_scale),
+    )

@@ -1,0 +1,143 @@
+"""NPU-side computation thread pool and kernel scheduler (§6).
+
+The paper's operator library implements "computation kernels, power
+management, hardware resource management, and a computation thread
+pool".  This module models that runtime layer: kernels are submitted as
+jobs with HVX-packet work estimates and optional dependencies; the pool
+schedules them across the generation's HVX contexts (list scheduling,
+longest-job-first among ready jobs) and reports the makespan.
+
+The timing model's assumption that vector work divides evenly across
+contexts (``TimingModel.hvx_seconds``) is an idealization; the scheduler
+computes the *actual* makespan of a job set, so tests can bound the
+idealization error and experiments can study scheduling effects
+(e.g. one huge dequantization job serializing behind small ones).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..errors import NPUError
+from .timing import KernelCost, NPUGenerationTiming, TimingModel
+
+__all__ = ["KernelJob", "ScheduleResult", "NPUThreadPool"]
+
+
+@dataclass
+class KernelJob:
+    """One schedulable kernel invocation."""
+
+    name: str
+    cost: KernelCost
+    depends_on: "tuple[str, ...]" = ()
+
+
+@dataclass
+class ScheduledSpan:
+    """Placement of one job on one HVX context."""
+
+    job: str
+    context: int
+    start: float
+    end: float
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling a job set."""
+
+    makespan_seconds: float
+    spans: List[ScheduledSpan]
+    context_busy_seconds: List[float]
+
+    @property
+    def utilization(self) -> float:
+        """Mean busy fraction of the HVX contexts over the makespan."""
+        if self.makespan_seconds <= 0:
+            return 0.0
+        busy = sum(self.context_busy_seconds)
+        return busy / (len(self.context_busy_seconds) * self.makespan_seconds)
+
+
+class NPUThreadPool:
+    """List scheduler for kernel jobs over the HVX contexts."""
+
+    def __init__(self, generation: NPUGenerationTiming) -> None:
+        self.generation = generation
+        self.timing = TimingModel(generation)
+
+    def _job_seconds(self, job: KernelJob) -> float:
+        # one job occupies a single HVX context: serial vector time
+        return self.timing.hvx_seconds(job.cost, hvx_threads=1)
+
+    def schedule(self, jobs: Sequence[KernelJob]) -> ScheduleResult:
+        """Schedule jobs respecting dependencies; return the makespan.
+
+        Ready jobs are dispatched longest-first onto the earliest-free
+        context (classic LPT list scheduling).
+        """
+        by_name: Dict[str, KernelJob] = {}
+        for job in jobs:
+            if job.name in by_name:
+                raise NPUError(f"duplicate job name {job.name!r}")
+            by_name[job.name] = job
+        for job in jobs:
+            for dep in job.depends_on:
+                if dep not in by_name:
+                    raise NPUError(
+                        f"job {job.name!r} depends on unknown job {dep!r}")
+
+        n_contexts = self.generation.hvx_contexts
+        context_free = [0.0] * n_contexts
+        finish: Dict[str, float] = {}
+        spans: List[ScheduledSpan] = []
+        remaining: Set[str] = set(by_name)
+
+        while remaining:
+            ready = [name for name in remaining
+                     if all(dep in finish for dep in by_name[name].depends_on)]
+            if not ready:
+                raise NPUError("dependency cycle among kernel jobs")
+            ready.sort(key=lambda n: -self._job_seconds(by_name[n]))
+            progressed = False
+            for name in ready:
+                job = by_name[name]
+                dep_ready = max((finish[d] for d in job.depends_on),
+                                default=0.0)
+                ctx = min(range(n_contexts), key=lambda c: context_free[c])
+                start = max(context_free[ctx], dep_ready)
+                duration = self._job_seconds(job)
+                end = start + duration
+                context_free[ctx] = end
+                finish[name] = end
+                spans.append(ScheduledSpan(job=name, context=ctx, start=start,
+                                           end=end))
+                remaining.discard(name)
+                progressed = True
+            if not progressed:  # pragma: no cover - defensive
+                raise NPUError("scheduler made no progress")
+
+        makespan = max((s.end for s in spans), default=0.0)
+        busy = [0.0] * n_contexts
+        for span in spans:
+            busy[span.context] += span.end - span.start
+        return ScheduleResult(makespan_seconds=makespan, spans=spans,
+                              context_busy_seconds=busy)
+
+    def idealization_gap(self, jobs: Sequence[KernelJob]) -> float:
+        """Ratio of the scheduled makespan to the even-split ideal.
+
+        1.0 means the timing model's even-division assumption is exact
+        for this job set; larger values quantify scheduling loss.
+        """
+        result = self.schedule(jobs)
+        total = KernelCost()
+        for job in jobs:
+            total.merge(job.cost)
+        ideal = self.timing.hvx_seconds(total)
+        if ideal <= 0:
+            return 1.0
+        return result.makespan_seconds / ideal

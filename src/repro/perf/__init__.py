@@ -1,0 +1,37 @@
+"""Performance models: latency, power, memory, comparison baselines.
+
+* :mod:`repro.perf.latency` — analytic per-step decode/prefill costs for
+  the full-size models (cross-validated against the functional kernels).
+* :mod:`repro.perf.power` — utilization-weighted power/energy (Fig. 12).
+* :mod:`repro.perf.memory` — dmabuf/CPU footprint and utilization (Fig. 16).
+* :mod:`repro.perf.baselines` — Adreno OpenCL and QNN FP16 models (Fig. 13).
+"""
+
+from .baselines import AdrenoGPUModel, QNNReferenceModel
+from .latency import (
+    PREFILL_EFFICIENCY,
+    DecodePerformanceModel,
+    attention_cost,
+    attention_phase_costs,
+    gemm_cost,
+)
+from .memory import MemoryModel, ResourceUsage
+from .prefill import PrefillConfig, PrefillPipelineModel
+from .power import PowerBudget, PowerModel, PowerSample
+
+__all__ = [
+    "AdrenoGPUModel",
+    "QNNReferenceModel",
+    "PREFILL_EFFICIENCY",
+    "DecodePerformanceModel",
+    "attention_cost",
+    "attention_phase_costs",
+    "gemm_cost",
+    "MemoryModel",
+    "PrefillConfig",
+    "PrefillPipelineModel",
+    "ResourceUsage",
+    "PowerBudget",
+    "PowerModel",
+    "PowerSample",
+]

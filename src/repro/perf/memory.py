@@ -1,0 +1,80 @@
+"""CPU and memory footprint model (Fig. 16, §7.5).
+
+Reproduces the resource accounting the paper reports on the OnePlus 12:
+
+* **dmabuf (NPU) memory** — rpcmem-mapped weights, the KV cache for the
+  full context budget, and the activation workspace.  Constant in batch
+  (the KV budget is preallocated), ~1056 MiB for Qwen2.5-1.5B and
+  ~2090 MiB for 3B at a 4096-token budget;
+* **CPU resident memory** — embeddings + quantized lm_head, the logits
+  buffer (batch x vocab, FP32), tokenizer/runtime overhead;
+* **CPU utilization** — the lm_head time fraction times the 4 cores the
+  runtime is limited to, growing with batch as in Fig. 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EngineError
+from ..llm.config import ModelConfig
+from ..npu.soc import Device
+from .latency import DecodePerformanceModel
+
+__all__ = ["ResourceUsage", "MemoryModel"]
+
+_RUNTIME_OVERHEAD_BYTES = 160 * 2**20   # llama.cpp runtime, buffers, mmap metadata
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Resource snapshot of one decode configuration."""
+
+    batch: int
+    dmabuf_bytes: int
+    cpu_rss_bytes: int
+    cpu_utilization_pct: float  # 100% == one core
+
+    @property
+    def total_bytes(self) -> int:
+        return self.dmabuf_bytes + self.cpu_rss_bytes
+
+
+class MemoryModel:
+    """Footprint and CPU-utilization accounting for one model+device."""
+
+    def __init__(self, config: ModelConfig, device: Device,
+                 context_budget: int = 4096) -> None:
+        if context_budget <= 0:
+            raise EngineError(f"context budget must be positive, got {context_budget}")
+        self.config = config
+        self.device = device
+        self.context_budget = context_budget
+        self._perf = DecodePerformanceModel(config, device)
+
+    def dmabuf_bytes(self, batch: int = 1) -> int:
+        """NPU-mapped memory; the KV budget is preallocated, so this is
+        constant in batch for a fixed context budget (matching the
+        constant pmap totals the paper reports)."""
+        cfg = self.config
+        return cfg.npu_session_bytes(self.context_budget)
+
+    def cpu_rss_bytes(self, batch: int) -> int:
+        if batch <= 0:
+            raise EngineError(f"batch must be positive, got {batch}")
+        cfg = self.config
+        logits = batch * cfg.vocab_size * 4
+        return cfg.cpu_weight_bytes() + logits + _RUNTIME_OVERHEAD_BYTES
+
+    def cpu_utilization_pct(self, batch: int, context: int = 1024) -> float:
+        """CPU busy percentage (100% per core, 4-core ceiling)."""
+        fraction = self._perf.cpu_time_fraction(batch, context)
+        return min(fraction * self.device.cpu.max_cores, self.device.cpu.max_cores) * 100.0
+
+    def snapshot(self, batch: int, context: int = 1024) -> ResourceUsage:
+        return ResourceUsage(
+            batch=batch,
+            dmabuf_bytes=self.dmabuf_bytes(batch),
+            cpu_rss_bytes=self.cpu_rss_bytes(batch),
+            cpu_utilization_pct=self.cpu_utilization_pct(batch, context),
+        )

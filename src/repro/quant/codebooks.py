@@ -1,0 +1,122 @@
+"""4-bit codebooks for LUT-centric dequantization (§5.2.2).
+
+The vlut16-based dequantization path converts 4-bit codes to FP16 values
+with a single table lookup, so supporting a different 4-bit encoding is
+"simply adjusting the table contents".  This module defines the
+codebooks the paper names:
+
+* ``Q4_0`` — the uniform integer grid ``[-8, 7]`` (scaled per group);
+* ``NF4`` — the NormalFloat-4 quantile grid of QLoRA (Dettmers et al.);
+* ``FP4`` — a 4-bit floating-point grid (1 sign, 2 exponent, 1 mantissa);
+* ``IQ4_NL`` — llama.cpp's non-linear INT4 grid.
+
+Each codebook is a 16-entry FP16 table indexed by the raw code, plus a
+round-to-nearest encoder, so the GEMM kernels can be parameterized by
+codebook without changing any data movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..errors import CodebookError
+from .schemes import QuantizedGroups, _validate_group_shape
+
+__all__ = [
+    "Codebook",
+    "Q4_0_CODEBOOK",
+    "NF4_CODEBOOK",
+    "FP4_CODEBOOK",
+    "IQ4_NL_CODEBOOK",
+    "CODEBOOKS",
+    "get_codebook",
+    "quantize_with_codebook",
+    "dequantize_with_codebook",
+]
+
+
+@dataclass(frozen=True)
+class Codebook:
+    """A named 16-entry reconstruction table for 4-bit codes."""
+
+    name: str
+    values: np.ndarray  # 16 FP16 entries, code -> value (unit scale)
+
+    def __post_init__(self) -> None:
+        vals = np.asarray(self.values, dtype=np.float16)
+        if vals.shape != (16,):
+            raise CodebookError(f"codebook {self.name!r} must have 16 entries")
+        object.__setattr__(self, "values", vals)
+
+    @property
+    def max_abs(self) -> float:
+        return float(np.abs(self.values.astype(np.float32)).max())
+
+
+Q4_0_CODEBOOK = Codebook("q4_0", np.arange(16, dtype=np.float32) - 8.0)
+
+# QLoRA NF4 quantiles (normalized to [-1, 1]).
+NF4_CODEBOOK = Codebook("nf4", np.array([
+    -1.0, -0.6961928009986877, -0.5250730514526367, -0.39491748809814453,
+    -0.28444138169288635, -0.18477343022823334, -0.09105003625154495, 0.0,
+    0.07958029955625534, 0.16093020141124725, 0.24611230194568634,
+    0.33791524171829224, 0.44070982933044434, 0.5626170039176941,
+    0.7229568362236023, 1.0,
+], dtype=np.float32))
+
+# 4-bit float: sign | 2-bit exponent | 1-bit mantissa, values for codes 0..15.
+FP4_CODEBOOK = Codebook("fp4", np.array([
+    0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0,
+    -0.0, -0.5, -1.0, -1.5, -2.0, -3.0, -4.0, -6.0,
+], dtype=np.float32))
+
+# llama.cpp IQ4_NL non-linear kernel values.
+IQ4_NL_CODEBOOK = Codebook("iq4_nl", np.array([
+    -127, -104, -83, -65, -49, -35, -22, -10,
+    1, 13, 25, 38, 53, 69, 89, 113,
+], dtype=np.float32) / 127.0)
+
+CODEBOOKS: Dict[str, Codebook] = {
+    cb.name: cb for cb in (Q4_0_CODEBOOK, NF4_CODEBOOK, FP4_CODEBOOK, IQ4_NL_CODEBOOK)
+}
+
+
+def get_codebook(name: str) -> Codebook:
+    try:
+        return CODEBOOKS[name]
+    except KeyError:
+        raise CodebookError(
+            f"unknown codebook {name!r}; known: {sorted(CODEBOOKS)}") from None
+
+
+def quantize_with_codebook(values: np.ndarray, codebook: Codebook,
+                           group_size: int = 32) -> QuantizedGroups:
+    """Group quantization against an arbitrary 16-entry codebook.
+
+    Per group the scale maps the group's absmax onto the codebook's
+    largest magnitude; each value is encoded as the nearest codebook
+    entry.  Dequantized values are ``codebook[code] * scale``.
+    """
+    groups = _validate_group_shape(values, group_size)
+    absmax = np.abs(groups).max(axis=1)
+    scales = (absmax / codebook.max_abs).astype(np.float16)
+    safe = np.where(scales.astype(np.float32) > 0, scales.astype(np.float32), 1.0)
+    normalized = groups / safe[:, None]
+    table = codebook.values.astype(np.float32)
+    # nearest-entry encode: distance to each of the 16 entries
+    distance = np.abs(normalized[:, :, None] - table[None, None, :])
+    codes = distance.argmin(axis=2).astype(np.uint8)
+    return QuantizedGroups(codes=codes, scales=scales, bits=4, group_size=group_size)
+
+
+def dequantize_with_codebook(quantized: QuantizedGroups,
+                             codebook: Codebook) -> np.ndarray:
+    """Reconstruct FP16 values from codebook-encoded groups."""
+    if quantized.bits != 4:
+        raise CodebookError(f"expected 4-bit codes, got {quantized.bits}-bit")
+    table = codebook.values.astype(np.float32)
+    out = table[quantized.codes] * quantized.scales.astype(np.float32)[:, None]
+    return out.astype(np.float16).ravel()

@@ -1,0 +1,67 @@
+"""Test-time scaling: tasks, reward models, and selection algorithms.
+
+* :mod:`repro.tts.tasks` — synthetic reasoning benchmark + model profiles.
+* :mod:`repro.tts.reward` — ORM/PRM simulators (Skywork-PRM stand-in).
+* :mod:`repro.tts.best_of_n` / :mod:`repro.tts.beam_search` /
+  :mod:`repro.tts.self_consistency` — the three parallel methods.
+* :mod:`repro.tts.scaling` — budget sweeps (Fig. 5, Fig. 10 accuracy axis).
+* :mod:`repro.tts.accuracy_model` — quantization damage -> accuracy map.
+"""
+
+from .accuracy_model import KL_SCALE, accuracy_under_quantization, calibrate_kl_scale
+from .beam_search import BeamSearchResult, beam_search_single, evaluate_beam_search
+from .best_of_n import BestOfNResult, best_of_n_single, evaluate_best_of_n
+from .mcts import MCTSResult, evaluate_mcts, mcts_single
+from .reward import RewardModel, reward_auc
+from .scaling import DEFAULT_BUDGETS, SCALING_METHODS, ScalingCurve, budget_sweep
+from .self_consistency import (
+    SelfConsistencyResult,
+    evaluate_self_consistency,
+    majority_vote,
+    weighted_majority_vote,
+)
+from .tasks import (
+    DATASET_PROFILES,
+    MODEL_PROFILES,
+    ModelProfile,
+    ReasoningProblem,
+    SampledSolution,
+    TaskDataset,
+    analytic_pass_at_n,
+    get_model_profile,
+    sample_solutions,
+)
+
+__all__ = [
+    "KL_SCALE",
+    "accuracy_under_quantization",
+    "calibrate_kl_scale",
+    "BeamSearchResult",
+    "beam_search_single",
+    "evaluate_beam_search",
+    "BestOfNResult",
+    "best_of_n_single",
+    "evaluate_best_of_n",
+    "MCTSResult",
+    "evaluate_mcts",
+    "mcts_single",
+    "RewardModel",
+    "reward_auc",
+    "DEFAULT_BUDGETS",
+    "SCALING_METHODS",
+    "ScalingCurve",
+    "budget_sweep",
+    "SelfConsistencyResult",
+    "evaluate_self_consistency",
+    "majority_vote",
+    "weighted_majority_vote",
+    "DATASET_PROFILES",
+    "MODEL_PROFILES",
+    "ModelProfile",
+    "ReasoningProblem",
+    "SampledSolution",
+    "TaskDataset",
+    "analytic_pass_at_n",
+    "get_model_profile",
+    "sample_solutions",
+]

@@ -1,0 +1,164 @@
+"""Monte-Carlo Tree Search over reasoning steps (§2.1).
+
+The paper's background lists MCTS-style lookahead as the third parallel
+test-time-scaling family: "through lookahead rollouts, methods similar
+to MCTS can select optimal paths from partially generated sequences".
+This module implements a step-level MCTS on the synthetic task
+environment:
+
+* a tree node is a sampled reasoning prefix (its hidden correctness
+  state is tracked by the simulator but never revealed to the search —
+  the algorithm only observes noisy reward scores, like a real PRM
+  consumer);
+* **selection** walks the tree by UCT;
+* **expansion** samples one new continuation step of the selected node;
+* **rollout** completes the chain stochastically and scores the finished
+  solution with the outcome reward model;
+* **backpropagation** updates mean values along the path.
+
+The final answer comes from the best-scoring completed rollout beneath
+the most-visited root child — lookahead statistics concentrate the
+budget on prefixes that keep scoring well, which is how MCTS converts
+the same rollout budget into higher accuracy than independent sampling
+on hard problems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ScalingError
+from .reward import RewardModel
+from .tasks import ModelProfile, ReasoningProblem, SampledSolution, TaskDataset
+
+__all__ = ["MCTSResult", "mcts_single", "evaluate_mcts"]
+
+_UCT_C = 1.2
+
+
+@dataclass
+class _Node:
+    """One sampled reasoning prefix."""
+
+    depth: int                     # steps taken so far
+    first_error_step: int          # hidden state: n_steps if clean so far
+    parent: Optional["_Node"] = None
+    children: List["_Node"] = field(default_factory=list)
+    visits: int = 0
+    value_sum: float = 0.0
+    best_rollout_score: float = -math.inf
+    best_rollout_correct: bool = False
+
+    @property
+    def mean_value(self) -> float:
+        return self.value_sum / self.visits if self.visits else 0.0
+
+    def uct(self, total_visits: int) -> float:
+        if self.visits == 0:
+            return math.inf
+        return self.mean_value + _UCT_C * math.sqrt(
+            math.log(max(total_visits, 1)) / self.visits)
+
+
+@dataclass
+class MCTSResult:
+    dataset: str
+    model: str
+    budget: int
+    accuracy: float
+    mean_rollouts_per_problem: float
+
+
+def _extend_prefix(node: _Node, step_success: float, n_steps: int,
+                   rng: np.random.Generator) -> _Node:
+    """Sample one more reasoning step from a prefix."""
+    if node.first_error_step >= node.depth + 1:
+        # prefix clean so far: the next step succeeds with probability q
+        ok = bool(rng.random() < step_success)
+        first_error = node.first_error_step if ok else node.depth
+    else:
+        first_error = node.first_error_step
+    child = _Node(depth=node.depth + 1,
+                  first_error_step=min(first_error, n_steps),
+                  parent=node)
+    node.children.append(child)
+    return child
+
+
+def _rollout(node: _Node, step_success: float, problem: ReasoningProblem,
+             rng: np.random.Generator) -> SampledSolution:
+    """Complete the chain from a prefix and materialize a solution."""
+    first_error = node.first_error_step
+    if first_error >= node.depth:  # still clean: simulate remaining steps
+        for step in range(node.depth, problem.n_steps):
+            if rng.random() >= step_success:
+                first_error = step
+                break
+        else:
+            first_error = problem.n_steps
+    correct = first_error >= problem.n_steps
+    from .tasks import _wrong_answer
+    answer = problem.answer if correct else _wrong_answer(problem, rng)
+    return SampledSolution(answer=answer, correct=correct,
+                           first_error_step=first_error,
+                           n_steps=problem.n_steps, n_tokens=0)
+
+
+def mcts_single(problem: ReasoningProblem, solve_probability: float,
+                budget: int, reward: RewardModel,
+                rng: np.random.Generator,
+                expansion_limit: int = 4) -> "tuple[bool, int]":
+    """Run MCTS with ``budget`` rollouts; returns (correct, rollouts)."""
+    if budget <= 0:
+        raise ScalingError(f"budget must be positive, got {budget}")
+    step_success = float(solve_probability) ** (1.0 / problem.n_steps)
+    root = _Node(depth=0, first_error_step=problem.n_steps)
+
+    for _ in range(budget):
+        # --- selection -------------------------------------------------
+        node = root
+        while node.children and (len(node.children) >= expansion_limit
+                                 or node.depth >= problem.n_steps):
+            node = max(node.children, key=lambda c: c.uct(node.visits))
+        # --- expansion ---------------------------------------------------
+        if node.depth < problem.n_steps:
+            node = _extend_prefix(node, step_success, problem.n_steps, rng)
+        # --- rollout + scoring -------------------------------------------
+        solution = _rollout(node, step_success, problem, rng)
+        score = reward.outcome_score(solution)
+        # --- backpropagation ----------------------------------------------
+        walker: Optional[_Node] = node
+        while walker is not None:
+            walker.visits += 1
+            walker.value_sum += score
+            if score > walker.best_rollout_score:
+                walker.best_rollout_score = score
+                walker.best_rollout_correct = solution.correct
+            walker = walker.parent
+
+    if not root.children:
+        return False, budget
+    best_child = max(root.children, key=lambda c: c.visits)
+    return best_child.best_rollout_correct, budget
+
+
+def evaluate_mcts(dataset: TaskDataset, profile: ModelProfile, budget: int,
+                  reward: Optional[RewardModel] = None,
+                  seed: int = 0) -> MCTSResult:
+    """MCTS over a dataset at ``budget`` rollouts per problem."""
+    if budget <= 0:
+        raise ScalingError(f"budget must be positive, got {budget}")
+    reward = reward if reward is not None else RewardModel(seed=seed + 1)
+    rng = np.random.default_rng(seed)
+    probabilities = profile.solve_probabilities(dataset)
+    n_correct = 0
+    for problem, p in zip(dataset.problems, probabilities):
+        correct, _ = mcts_single(problem, float(p), budget, reward, rng)
+        n_correct += int(correct)
+    n = len(dataset.problems)
+    return MCTSResult(dataset=dataset.name, model=profile.name, budget=budget,
+                      accuracy=n_correct / n, mean_rollouts_per_problem=budget)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm import NPUTransformer, TransformerWeights, tiny_config
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_weights():
+    """Session-wide tiny transformer weights (deterministic)."""
+    return TransformerWeights.generate(tiny_config(), seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_weights):
+    """Session-wide NPU transformer on the tiny config."""
+    return NPUTransformer(tiny_weights)

@@ -1,0 +1,339 @@
+"""Tests for the paper's discussion/future-work extensions (§8, §9).
+
+Covers speculative decoding (§9), the T-MAC-style LUT GEMV (§8a),
+multi-session VA-space sharding (§8c), the lm_head-on-NPU hypothetical
+(§7.2.2), MCTS and weighted self-consistency (§2.1), and the ablation
+primitives of DESIGN.md §4.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressSpaceError, EngineError, KernelError, \
+    LUTError, QuantizationError, ScalingError
+from repro.kernels.gemm import MixedPrecisionGemm
+from repro.kernels.lut import build_reduced_exp_lut, reduced_exp_lookup
+from repro.kernels.tmac import TMacGemv
+from repro.llm import (
+    InferenceEngine,
+    NPUTransformer,
+    SpeculativeDecoder,
+    TransformerWeights,
+    get_model_config,
+    tiny_config,
+)
+from repro.npu import TimingModel, V75, get_device
+from repro.npu.memory import MultiSessionHeap
+from repro.perf.latency import DecodePerformanceModel
+from repro.quant.patch_quant import patch_geometry_mse, quantize_patch_group
+from repro.tts import (
+    RewardModel,
+    TaskDataset,
+    evaluate_mcts,
+    evaluate_self_consistency,
+    get_model_profile,
+    mcts_single,
+    weighted_majority_vote,
+)
+from repro.tts.tasks import sample_solutions
+
+
+@pytest.fixture(scope="module")
+def target_model():
+    cfg = tiny_config(vocab_size=512)
+    weights = TransformerWeights.generate(cfg, seed=0, embedding_std=0.1)
+    return NPUTransformer(weights)
+
+
+@pytest.fixture(scope="module")
+def draft_model():
+    cfg = tiny_config(n_layers=1, hidden_dim=32, n_heads=2, n_kv_heads=1,
+                      intermediate_dim=64, vocab_size=512)
+    weights = TransformerWeights.generate(cfg, seed=1, embedding_std=0.1)
+    return NPUTransformer(weights)
+
+
+class TestSpeculativeDecoding:
+    def _greedy_reference(self, model, prompt, n):
+        cache = model.new_cache(1, len(prompt) + n + 2)
+        logits, _ = model.forward(np.array([prompt]), cache)
+        out = [int(logits[0, -1].argmax())]
+        for _ in range(n - 1):
+            logits, _ = model.forward(np.array([[out[-1]]]), cache)
+            out.append(int(logits[0, -1].argmax()))
+        return out
+
+    def test_greedy_losslessness(self, target_model, draft_model):
+        """Greedy speculative decoding equals pure greedy target decode."""
+        decoder = SpeculativeDecoder(target_model, draft_model, draft_len=4)
+        prompt = [1, 2, 3, 4, 5]
+        spec = decoder.generate(prompt, 16)
+        ref = self._greedy_reference(target_model, prompt, 16)
+        assert spec.tokens == ref
+
+    def test_self_draft_accepts_everything(self, target_model):
+        decoder = SpeculativeDecoder(target_model, target_model, draft_len=4)
+        result = decoder.generate([1, 2, 3], 12)
+        assert result.acceptance_rate == 1.0
+        assert result.tokens_per_target_pass > 2.0
+
+    def test_fewer_target_passes_than_tokens(self, target_model):
+        decoder = SpeculativeDecoder(target_model, target_model, draft_len=4)
+        result = decoder.generate([1, 2, 3], 16)
+        assert result.target_forward_passes < 16
+
+    def test_random_draft_still_correct(self, target_model, draft_model):
+        """Even a useless draft model preserves the output (just slowly)."""
+        decoder = SpeculativeDecoder(target_model, draft_model, draft_len=2)
+        prompt = [9, 8, 7]
+        spec = decoder.generate(prompt, 8)
+        assert spec.tokens == self._greedy_reference(target_model, prompt, 8)
+
+    def test_stochastic_mode_runs(self, target_model):
+        decoder = SpeculativeDecoder(target_model, target_model, draft_len=3)
+        result = decoder.generate([1, 2], 10, temperature=0.9, seed=3)
+        assert len(result.tokens) == 10
+
+    def test_draft_len_bounds(self, target_model, draft_model):
+        with pytest.raises(EngineError):
+            SpeculativeDecoder(target_model, draft_model, draft_len=0)
+        with pytest.raises(EngineError):
+            SpeculativeDecoder(target_model, draft_model, draft_len=32)
+
+    def test_vocab_mismatch(self, target_model):
+        other_cfg = tiny_config(vocab_size=1024)
+        other = NPUTransformer(TransformerWeights.generate(other_cfg, seed=2))
+        with pytest.raises(EngineError):
+            SpeculativeDecoder(target_model, other)
+
+    def test_input_validation(self, target_model):
+        decoder = SpeculativeDecoder(target_model, target_model)
+        with pytest.raises(EngineError):
+            decoder.generate([], 4)
+        with pytest.raises(EngineError):
+            decoder.generate([1], 0)
+
+
+class TestTMacGemv:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(0, 0.05, (256, 384)).astype(np.float32)
+        x = rng.normal(0, 1, 256).astype(np.float16)
+        return w, x
+
+    def test_matches_dequantization_kernel(self, setup):
+        """Bit-plane LUT GEMV evaluates the same quantized weights."""
+        w, x = setup
+        tmac = TMacGemv()
+        out_tmac, _ = tmac(x, tmac.prepare_weight(w))
+        ours = MixedPrecisionGemm("ours")
+        out_ours, _ = ours.gemv(x, ours.prepare_weight(w))
+        diff = np.abs(out_tmac.astype(np.float32) - out_ours.astype(np.float32))
+        assert diff.max() < 0.02
+
+    def test_faster_than_dequantization(self, setup):
+        """§8a projection: LUT GEMV approaches the no-dequant bound."""
+        w, x = setup
+        timing = TimingModel(V75)
+        tmac = TMacGemv()
+        _, cost_tmac = tmac(x, tmac.prepare_weight(w))
+        ours = MixedPrecisionGemm("ours")
+        _, cost_ours = ours.gemv(x, ours.prepare_weight(w))
+        bound = MixedPrecisionGemm("no_dequant")
+        _, cost_bound = bound.gemv(x, bound.prepare_weight(w))
+        assert timing.seconds(cost_tmac) < timing.seconds(cost_ours)
+        assert timing.seconds(cost_tmac) < 1.3 * timing.seconds(cost_bound)
+
+    def test_same_storage_as_q4(self, setup):
+        w, _ = setup
+        tmac = TMacGemv()
+        prepared = tmac.prepare_weight(w)
+        ours = MixedPrecisionGemm("ours").prepare_weight(w)
+        # T-MAC reads the same packed Q4 stream
+        assert prepared.storage_bytes == ours.quantized.storage_bytes
+
+    def test_validation(self, setup):
+        w, x = setup
+        tmac = TMacGemv()
+        prepared = tmac.prepare_weight(w)
+        with pytest.raises(KernelError):
+            tmac(np.zeros((2, 256), dtype=np.float16), prepared)
+        with pytest.raises(KernelError):
+            tmac(np.zeros(100, dtype=np.float16), prepared)
+        with pytest.raises(KernelError):
+            tmac.prepare_weight(np.zeros(10))
+
+
+class TestMultiSession:
+    def test_3b_fits_8g2_with_two_sessions(self):
+        """§8c: multiple NPU sessions alleviate the VA-space limit."""
+        cfg = get_model_config("qwen2.5-3b")
+        va = get_device("oneplus_ace3").npu.npu_va_space_bytes
+        single = MultiSessionHeap(1, va)
+        with pytest.raises(AddressSpaceError):
+            single.alloc_sharded(cfg.npu_weight_bytes(), "w")
+            single.alloc_sharded(cfg.kv_cache_bytes(4096), "kv")
+            single.sessions[0].alloc(cfg.NPU_WORKSPACE_BYTES, "ws")
+        double = MultiSessionHeap(2, va)
+        double.alloc_sharded(cfg.npu_weight_bytes(), "w")
+        double.alloc_sharded(cfg.kv_cache_bytes(4096), "kv")
+        for session in double.sessions:
+            session.alloc(cfg.NPU_WORKSPACE_BYTES, "ws")
+        assert double.total_mapped_bytes() > cfg.npu_weight_bytes()
+
+    def test_engine_n_sessions(self, target_model):
+        engine = InferenceEngine(target_model, batch=2, max_context=32,
+                                 device=get_device("oneplus_ace3"),
+                                 n_sessions=2)
+        assert engine.heap.n_sessions == 2
+
+    def test_unshardable_goes_to_emptiest(self):
+        heap = MultiSessionHeap(2, 1024)
+        heap.sessions[0].alloc(512, "pre")
+        buf = heap.alloc(256, "x")
+        assert buf in heap.sessions[1].buffers
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiSessionHeap(0, 1024)
+        heap = MultiSessionHeap(2, 1024)
+        with pytest.raises(AddressSpaceError):
+            heap.alloc_sharded(100, "x", shards=3)
+
+
+class TestLmHeadPlacement:
+    def test_npu_lm_head_improves_batch_scaling(self):
+        """§7.2.2 expectation: moving logits to the NPU improves the
+        throughput scaling characteristics."""
+        cfg = get_model_config("qwen2.5-1.5b")
+        device = get_device("oneplus_12")
+        cpu_head = DecodePerformanceModel(cfg, device)
+        npu_head = DecodePerformanceModel(cfg, device, lm_head_on_npu=True)
+        scaling_cpu = cpu_head.decode_throughput(16, 1024) \
+            / cpu_head.decode_throughput(1, 1024)
+        scaling_npu = npu_head.decode_throughput(16, 1024) \
+            / npu_head.decode_throughput(1, 1024)
+        assert scaling_npu > scaling_cpu
+        assert npu_head.decode_throughput(16, 1024) > \
+            cpu_head.decode_throughput(16, 1024)
+
+    def test_npu_lm_head_zeroes_cpu_time(self):
+        cfg = get_model_config("qwen2.5-1.5b")
+        perf = DecodePerformanceModel(cfg, get_device("oneplus_12"),
+                                      lm_head_on_npu=True)
+        assert perf.decode_step(8, 1024).cpu_seconds == 0.0
+
+
+class TestMCTS:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return TaskDataset.generate("math500", 150, seed=0)
+
+    def test_improves_with_budget(self, dataset):
+        profile = get_model_profile("qwen2.5-1.5b")
+        low = evaluate_mcts(dataset, profile, budget=2, seed=0)
+        high = evaluate_mcts(dataset, profile, budget=16, seed=0)
+        assert high.accuracy > low.accuracy
+
+    def test_beats_base_accuracy(self, dataset):
+        profile = get_model_profile("qwen2.5-1.5b")
+        result = evaluate_mcts(dataset, profile, budget=16, seed=0)
+        assert result.accuracy > profile.base_accuracy["math500"]
+
+    def test_deterministic_given_seed(self, dataset):
+        profile = get_model_profile("qwen2.5-1.5b")
+        a = evaluate_mcts(dataset, profile, budget=8, seed=3)
+        b = evaluate_mcts(dataset, profile, budget=8, seed=3)
+        assert a.accuracy == b.accuracy
+
+    def test_trivial_problem_solved(self, dataset):
+        rng = np.random.default_rng(0)
+        reward = RewardModel(sigma=0.1, seed=0)
+        correct, _ = mcts_single(dataset.problems[0], 1.0, 8, reward, rng)
+        assert correct
+
+    def test_budget_validation(self, dataset):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ScalingError):
+            mcts_single(dataset.problems[0], 0.5, 0, RewardModel(), rng)
+
+
+class TestWeightedSelfConsistency:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return TaskDataset.generate("math500", 200, seed=0)
+
+    def test_between_sc_and_bon(self, dataset):
+        """Reward weighting lifts voting toward Best-of-N quality."""
+        from repro.tts import evaluate_best_of_n
+        profile = get_model_profile("qwen2.5-1.5b")
+        reward = RewardModel(sigma=0.4, seed=1)
+        plain = evaluate_self_consistency(dataset, profile, 16, seed=0)
+        weighted = evaluate_self_consistency(dataset, profile, 16, seed=0,
+                                             reward=RewardModel(sigma=0.4,
+                                                                seed=1))
+        bon = evaluate_best_of_n(dataset, profile, 16, reward, seed=0)
+        assert weighted.accuracy > plain.accuracy
+        assert weighted.accuracy <= bon.accuracy + 0.05
+
+    def test_weighted_vote_prefers_high_scores(self, dataset):
+        rng = np.random.default_rng(0)
+        problem = dataset.problems[0]
+        sols = sample_solutions(problem, 0.5, 6, rng)
+        # give the single correct answer an overwhelming score
+        scores = [10.0 if s.correct else 0.0 for s in sols]
+        if any(s.correct for s in sols):
+            assert weighted_majority_vote(sols, scores) == problem.answer
+
+    def test_validation(self, dataset):
+        with pytest.raises(ScalingError):
+            weighted_majority_vote([], [])
+        rng = np.random.default_rng(0)
+        sols = sample_solutions(dataset.problems[0], 0.5, 3, rng)
+        with pytest.raises(ScalingError):
+            weighted_majority_vote(sols, [1.0])
+
+
+class TestAblationPrimitives:
+    def test_patch_geometries_equivalent_on_gaussian(self, rng):
+        """§5.1.1's statistical claim: every 32-element patch geometry
+        quantizes zero-mean Gaussian weights equally well."""
+        w = rng.normal(0, 0.1, (256, 256)).astype(np.float32)
+        errors = [patch_geometry_mse(w, patch)
+                  for patch in ((1, 32), (2, 16), (4, 8), (32, 1))]
+        assert max(errors) / min(errors) < 1.05
+
+    def test_patch_roundtrip_shape(self, rng):
+        w = rng.normal(size=(64, 64)).astype(np.float32)
+        back = quantize_patch_group(w, (2, 16))
+        assert back.shape == w.shape
+
+    def test_patch_validation(self, rng):
+        with pytest.raises(QuantizationError):
+            quantize_patch_group(rng.normal(size=(63, 64)), (2, 16))
+        with pytest.raises(QuantizationError):
+            quantize_patch_group(rng.normal(size=(64, 64)), (0, 16))
+
+    def test_reduced_lut_error_grows_as_table_shrinks(self, rng):
+        x = -np.abs(rng.normal(0, 3, 2000)).astype(np.float16)
+        exact = np.exp(x.astype(np.float64))
+        errors = []
+        for bits in (15, 12, 10, 8):
+            table = build_reduced_exp_lut(bits)
+            out = reduced_exp_lookup(table, x)
+            rel = np.abs(out.astype(np.float64) - exact) \
+                / np.maximum(exact, 1e-12)
+            errors.append(float(rel.mean()))
+        assert all(a < b for a, b in zip(errors, errors[1:]))
+
+    def test_full_reduced_lut_matches_full_table(self, rng):
+        from repro.kernels.lut import build_exp_lut
+        assert np.array_equal(build_reduced_exp_lut(15), build_exp_lut())
+
+    def test_reduced_lut_validation(self):
+        with pytest.raises(LUTError):
+            build_reduced_exp_lut(3)
+        with pytest.raises(LUTError):
+            reduced_exp_lookup(np.zeros(100, dtype=np.float16),
+                               np.zeros(4, dtype=np.float16))

@@ -1,0 +1,105 @@
+"""Unit tests for the experiment harness (fast experiments only;
+the heavyweight table regenerations run in benchmarks/)."""
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import ExperimentResult, format_value, render_table
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {"table1", "table2", "table3", "table4", "table5",
+                    "fig5", "fig8", "fig10", "fig11", "fig12", "fig13",
+                    "fig14", "fig15", "fig16", "fig17"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(HarnessError):
+            run_experiment("fig99")
+
+    @pytest.mark.parametrize("eid", ["table2", "table3", "fig8", "fig11",
+                                     "fig12", "fig13", "fig15", "fig16",
+                                     "fig17"])
+    def test_fast_experiments_produce_rows(self, eid):
+        result = run_experiment(eid)
+        assert result.experiment_id == eid
+        assert result.rows, f"{eid} produced no rows"
+        assert all(len(row) == len(result.headers) for row in result.rows)
+        assert result.paper_claims  # every artifact records paper values
+
+    def test_table2_reproduces_anchors(self):
+        result = run_experiment("table2")
+        hvx, hmx = result.rows[0][1], result.rows[0][2]
+        assert hvx == pytest.approx(32.93, rel=1e-3)
+        assert hmx == pytest.approx(12032.54, rel=1e-3)
+
+    def test_fig15_speedups_in_paper_band(self):
+        result = run_experiment("fig15")
+        speedups = result.column("speedup vs baseline")
+        assert all(9.65 * 0.9 <= s <= 19.04 * 1.1 for s in speedups)
+
+    def test_fig15_coalesce_gains_in_band(self):
+        result = run_experiment("fig15")
+        gains = result.column("coalesce gain")
+        assert all(1.82 * 0.9 <= g <= 3.45 * 1.1 for g in gains)
+
+    def test_fig11_rejects_3b_on_8g2(self):
+        result = run_experiment("fig11")
+        rejected = [row for row in result.rows
+                    if row[0] == "8G2" and "does not fit" in str(row[3])]
+        assert len(rejected) == 2  # qwen2.5-3b and llama3.2-3b
+
+    def test_fig12_power_within_5w(self):
+        result = run_experiment("fig12")
+        assert all(row[2] < 5.0 for row in result.rows)
+
+    def test_fig13_decode_crossover(self):
+        result = run_experiment("fig13")
+        decode = [r for r in result.rows
+                  if r[0] == "qwen2.5-1.5b" and r[1] == "decode"]
+        batch1 = next(r for r in decode if r[2] == 1)
+        batch16 = next(r for r in decode if r[2] == 16)
+        assert batch1[4] > batch1[3]    # GPU wins at batch 1
+        assert batch16[3] > batch16[4]  # NPU wins at batch 16
+
+    def test_fig16_dmabuf_constant(self):
+        result = run_experiment("fig16")
+        values = {row[2] for row in result.rows if row[0] == "qwen2.5-1.5b"}
+        assert len(values) == 1
+
+    def test_fig17_decline_subtle(self):
+        result = run_experiment("fig17")
+        rows_15b_b1 = [r for r in result.rows
+                       if r[0] == "qwen2.5-1.5b" and r[1] == 1]
+        first, last = rows_15b_b1[0][3], rows_15b_b1[-1][3]
+        assert last > 0.85 * first
+
+
+class TestReport:
+    def test_render_produces_aligned_table(self):
+        result = ExperimentResult(
+            experiment_id="demo", title="Demo", headers=["a", "b"],
+            rows=[[1, 2.5], ["x", 3]], paper_claims={"k": "v"},
+            measured_claims={"k": "w"}, notes=["note"])
+        text = result.render()
+        assert "== demo: Demo ==" in text
+        assert "paper=v" in text and "measured=w" in text
+        assert "note: note" in text
+
+    def test_column_extraction(self):
+        result = ExperimentResult("demo", "Demo", ["a", "b"],
+                                  [[1, 2], [3, 4]])
+        assert result.column("b") == [2, 4]
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.000123) == "0.000123"
+        assert format_value(123456.0) == "1.23e+05"
+        assert format_value(3.14159) == "3.142"
+        assert format_value(42) == "42"
+
+    def test_render_table_plain(self):
+        text = render_table("t", ["h"], [[1]])
+        assert "h" in text and "1" in text

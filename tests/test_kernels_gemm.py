@@ -1,0 +1,107 @@
+"""Unit tests for the end-to-end mixed-precision GEMM kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.gemm import MixedPrecisionGemm
+from repro.kernels.dequant import DEQUANT_STRATEGIES
+
+
+@pytest.fixture
+def weight(rng):
+    return rng.normal(0, 0.1, (96, 160)).astype(np.float32)
+
+
+class TestMixedPrecisionGemm:
+    @pytest.mark.parametrize("strategy", ["ours", "baseline", "hmx_layout"])
+    def test_matches_dequantized_reference(self, strategy, rng, weight):
+        gemm = MixedPrecisionGemm(strategy)
+        prepared = gemm.prepare_weight(weight)
+        x = rng.normal(0, 1, (3, 96)).astype(np.float16)
+        out, _ = gemm(x, prepared)
+        ref = x.astype(np.float32) @ prepared.dequantized_matrix.astype(np.float32)
+        assert np.allclose(out.astype(np.float32), ref, atol=5e-3, rtol=5e-3)
+
+    def test_strategies_numerically_equivalent_given_same_groups(self, rng,
+                                                                 weight):
+        """ours and hmx_layout share tile groups: identical outputs."""
+        x = rng.normal(0, 1, (2, 96)).astype(np.float16)
+        outs = {}
+        for strategy in ("ours", "hmx_layout"):
+            gemm = MixedPrecisionGemm(strategy)
+            out, _ = gemm(x, gemm.prepare_weight(weight))
+            outs[strategy] = out
+        assert np.array_equal(outs["ours"], outs["hmx_layout"])
+
+    def test_q8_path_more_accurate(self, rng, weight):
+        x = rng.normal(0, 1, (2, 96)).astype(np.float16)
+        ref = x.astype(np.float32) @ weight
+        errors = {}
+        for bits in (4, 8):
+            gemm = MixedPrecisionGemm("ours", bits=bits)
+            out, _ = gemm(x, gemm.prepare_weight(weight))
+            errors[bits] = float(np.abs(out.astype(np.float32) - ref).mean())
+        assert errors[8] < errors[4]
+
+    def test_gemv(self, rng, weight):
+        gemm = MixedPrecisionGemm("ours")
+        prepared = gemm.prepare_weight(weight)
+        x = rng.normal(0, 1, 96).astype(np.float16)
+        out, cost = gemm.gemv(x, prepared)
+        assert out.shape == (160,)
+        assert cost.hmx_tile_macs > 0
+
+    def test_gemv_requires_vector(self, rng, weight):
+        gemm = MixedPrecisionGemm("ours")
+        prepared = gemm.prepare_weight(weight)
+        with pytest.raises(KernelError):
+            gemm.gemv(rng.normal(size=(2, 96)).astype(np.float16), prepared)
+
+    def test_cost_includes_dma_and_hmx(self, rng, weight):
+        gemm = MixedPrecisionGemm("ours")
+        prepared = gemm.prepare_weight(weight)
+        x = rng.normal(0, 1, (1, 96)).astype(np.float16)
+        _, cost = gemm(x, prepared)
+        assert cost.dma_bytes >= prepared.storage_bytes
+        assert cost.hmx_tile_macs == 3 * 5  # ceil(96/32) * ceil(160/32)
+
+    def test_strategy_mismatch_rejected(self, rng, weight):
+        prepared = MixedPrecisionGemm("ours").prepare_weight(weight)
+        other = MixedPrecisionGemm("baseline")
+        with pytest.raises(KernelError):
+            other(rng.normal(size=(1, 96)).astype(np.float16), prepared)
+
+    def test_activation_width_check(self, rng, weight):
+        gemm = MixedPrecisionGemm("ours")
+        prepared = gemm.prepare_weight(weight)
+        with pytest.raises(KernelError):
+            gemm(rng.normal(size=(1, 64)).astype(np.float16), prepared)
+
+    def test_invalid_strategy(self):
+        with pytest.raises(KernelError):
+            MixedPrecisionGemm("warp-speed")
+
+    def test_invalid_bits(self):
+        with pytest.raises(KernelError):
+            MixedPrecisionGemm("ours", bits=3)
+
+    def test_no_dequant_is_cost_probe_only(self, rng, weight):
+        gemm = MixedPrecisionGemm("no_dequant")
+        prepared = gemm.prepare_weight(weight)
+        out, cost = gemm(rng.normal(size=(1, 96)).astype(np.float16), prepared)
+        assert np.all(out == 0)  # upper-bound probe computes nothing
+        assert cost.hmx_tile_macs > 0  # but charges the same MACs
+
+    def test_storage_bytes_q4(self, weight):
+        prepared = MixedPrecisionGemm("ours").prepare_weight(weight)
+        padded_elems = 96 * 160
+        expected = padded_elems // 2 + (padded_elems // 32) * 2
+        assert prepared.storage_bytes == expected
+
+    @pytest.mark.parametrize("strategy", DEQUANT_STRATEGIES)
+    def test_prepare_all_strategies(self, strategy, weight):
+        gemm = MixedPrecisionGemm(strategy)
+        prepared = gemm.prepare_weight(weight)
+        assert prepared.strategy == strategy
+        assert prepared.dequantized_matrix.shape == weight.shape

@@ -1,0 +1,125 @@
+"""Unit tests for LUT construction (exp table, scale broadcast)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LUTError
+from repro.kernels.lut import (
+    EXP_LUT_BYTES,
+    EXP_LUT_ENTRIES,
+    ExpLUT,
+    build_exp_lut,
+    exp_lut_offsets,
+    scale_broadcast_indices,
+)
+from repro.npu.hvx import HVXContext
+from repro.npu.memory import TCM, TCM_CAPACITY_BYTES
+
+
+class TestBuildExpLUT:
+    def test_size(self):
+        table = build_exp_lut()
+        assert table.size == EXP_LUT_ENTRIES == 32768
+        assert table.nbytes == EXP_LUT_BYTES == 64 * 1024
+
+    def test_entry_for_zero(self):
+        assert build_exp_lut()[0] == np.float16(1.0)  # exp(-0) = 1
+
+    def test_entry_for_one(self):
+        from repro.npu.datatypes import fp16_to_bits
+        table = build_exp_lut()
+        idx = int(fp16_to_bits(np.float16(1.0)))
+        assert table[idx] == np.float16(np.exp(-1.0))
+
+    def test_inf_pattern_maps_to_zero(self):
+        from repro.npu.datatypes import fp16_to_bits
+        table = build_exp_lut()
+        idx = int(fp16_to_bits(np.float16(np.inf)))
+        assert table[idx] == np.float16(0.0)
+
+    def test_entries_rounded_from_float64(self):
+        """Each entry is the best FP16 rounding of the true value (§7.4)."""
+        from repro.npu.datatypes import bits_to_fp16
+        table = build_exp_lut()
+        patterns = np.arange(0, 20000, 371, dtype=np.uint16)
+        magnitudes = bits_to_fp16(patterns).astype(np.float64)
+        exact = np.exp(-magnitudes)
+        assert np.array_equal(table[patterns], exact.astype(np.float16))
+
+    def test_base2_variant(self):
+        from repro.npu.datatypes import fp16_to_bits
+        table = build_exp_lut(base=2.0)
+        idx = int(fp16_to_bits(np.float16(3.0)))
+        assert table[idx] == np.float16(0.125)
+
+    def test_invalid_base(self):
+        with pytest.raises(LUTError):
+            build_exp_lut(base=1.0)
+
+
+class TestOffsets:
+    def test_sign_bit_dropped_and_shifted(self):
+        from repro.npu.datatypes import fp16_to_bits
+        x = np.array([-1.5], dtype=np.float16)
+        expected = (int(fp16_to_bits(np.float16(1.5)))) << 1
+        assert exp_lut_offsets(x)[0] == expected
+
+    def test_zero_offset(self):
+        assert exp_lut_offsets(np.array([0.0], dtype=np.float16))[0] == 0
+
+    def test_positive_input_rejected(self):
+        with pytest.raises(LUTError):
+            exp_lut_offsets(np.array([0.5], dtype=np.float16))
+
+    def test_offsets_even_and_in_window(self):
+        x = -np.abs(np.random.default_rng(0).normal(0, 5, 200)).astype(np.float16)
+        offsets = exp_lut_offsets(x)
+        assert np.all(offsets % 2 == 0)
+        assert np.all(offsets < EXP_LUT_BYTES)
+
+
+class TestExpLUTInTCM:
+    def test_occupies_64kib(self):
+        tcm = TCM()
+        ExpLUT(tcm)
+        assert tcm.used_bytes() == EXP_LUT_BYTES
+
+    def test_tcm_fraction_is_08_percent(self):
+        """§5.2.1: the table uses ~0.8% of the 8 MiB TCM."""
+        assert EXP_LUT_BYTES / TCM_CAPACITY_BYTES == pytest.approx(0.0078125)
+
+    def test_lookup_matches_exp(self):
+        tcm = TCM()
+        lut = ExpLUT(tcm)
+        hvx = HVXContext()
+        x = -np.abs(np.random.default_rng(1).normal(0, 3, 128)).astype(np.float16)
+        out = lut.lookup(hvx, x)
+        exact = np.exp(x.astype(np.float64))
+        rel = np.abs(out.astype(np.float64) - exact) / np.maximum(exact, 1e-12)
+        assert rel.max() < 2e-3
+
+    def test_lookup_records_gathers(self):
+        tcm = TCM()
+        lut = ExpLUT(tcm)
+        hvx = HVXContext()
+        lut.lookup(hvx, np.zeros(128, dtype=np.float16))
+        assert hvx.trace.count("vgather") == 2  # 128 elements / 64 per gather
+
+    def test_free_releases_tcm(self):
+        tcm = TCM()
+        lut = ExpLUT(tcm)
+        lut.free()
+        assert tcm.used_bytes() == 0
+
+
+class TestScaleBroadcastIndices:
+    def test_default_pattern(self):
+        idx = scale_broadcast_indices()
+        assert idx.size == 128  # one full register of byte indices
+        assert np.all(idx[:32] == 0) and np.all(idx[96:] == 3)
+
+    def test_validation(self):
+        with pytest.raises(LUTError):
+            scale_broadcast_indices(0, 4)
+        with pytest.raises(LUTError):
+            scale_broadcast_indices(32, 17)

@@ -1,0 +1,144 @@
+"""Unit tests for the exp kernels and on-chip softmax (§5.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.lut import ExpLUT
+from repro.kernels.softmax import (
+    EXP_METHODS,
+    OnChipSoftmax,
+    exp_lut,
+    exp_poly16,
+    exp_poly32,
+)
+from repro.npu.hvx import HVXContext
+from repro.npu.memory import TCM
+from repro.npu.timing import KernelCost, TimingModel, V75
+
+
+@pytest.fixture
+def negative_inputs(rng):
+    return -np.abs(rng.normal(0, 3, 512)).astype(np.float16)
+
+
+class TestExpKernels:
+    def test_poly32_accuracy(self, negative_inputs):
+        hvx = HVXContext()
+        out = exp_poly32(hvx, negative_inputs)
+        exact = np.exp(negative_inputs.astype(np.float64))
+        rel = np.abs(out - exact) / np.maximum(exact, 1e-12)
+        assert rel.max() < 2e-4
+
+    def test_poly16_handles_subnormals(self):
+        """Deep-negative inputs land on FP16 subnormals, not zero."""
+        hvx = HVXContext()
+        x = np.array([-12.0], dtype=np.float16)
+        out = exp_poly16(hvx, x)
+        assert out[0] > 0
+
+    def test_accuracy_ordering(self, negative_inputs):
+        """§7.4: LUT exp is more accurate than the FP16 polynomial."""
+        hvx = HVXContext()
+        tcm = TCM()
+        lut = ExpLUT(tcm)
+        exact = np.exp(negative_inputs.astype(np.float64))
+
+        def mean_rel(values):
+            return float(np.mean(np.abs(values.astype(np.float64) - exact)
+                                 / np.maximum(exact, 1e-12)))
+
+        err32 = mean_rel(exp_poly32(hvx, negative_inputs))
+        err16 = mean_rel(exp_poly16(hvx, negative_inputs))
+        err_lut = mean_rel(exp_lut(hvx, negative_inputs, lut))
+        assert err32 < err_lut < err16
+
+    def test_exp2_base(self, negative_inputs):
+        hvx = HVXContext()
+        out = exp_poly32(hvx, negative_inputs, base=2.0)
+        exact = np.exp2(negative_inputs.astype(np.float64))
+        assert np.allclose(out, exact, rtol=2e-4)
+
+    def test_poly_records_chain_cost(self, negative_inputs):
+        hvx = HVXContext()
+        exp_poly32(hvx, negative_inputs)
+        assert hvx.trace.count("vmpy_hf") > 0
+
+    def test_lut_records_gathers_and_bitops(self, negative_inputs):
+        hvx = HVXContext()
+        lut = ExpLUT(TCM())
+        exp_lut(hvx, negative_inputs, lut)
+        assert hvx.trace.count("vgather") == -(-negative_inputs.size // 64)
+        assert hvx.trace.count("vand") > 0
+        assert hvx.trace.count("vasl") > 0
+
+
+class TestOnChipSoftmax:
+    def _softmax(self, method):
+        hvx = HVXContext()
+        return OnChipSoftmax(hvx, method, tcm=TCM()), hvx
+
+    @pytest.mark.parametrize("method", EXP_METHODS)
+    def test_rows_sum_to_one(self, method, rng):
+        softmax, _ = self._softmax(method)
+        scores = rng.normal(0, 2, (4, 256)).astype(np.float16)
+        out = softmax(scores)
+        assert np.allclose(out.astype(np.float64).sum(axis=1), 1.0, atol=2e-3)
+
+    @pytest.mark.parametrize("method", EXP_METHODS)
+    def test_matches_reference_softmax(self, method, rng):
+        softmax, _ = self._softmax(method)
+        scores = rng.normal(0, 2, (2, 128)).astype(np.float16)
+        out = softmax(scores).astype(np.float64)
+        s = scores.astype(np.float64)
+        ref = np.exp(s - s.max(axis=1, keepdims=True))
+        ref /= ref.sum(axis=1, keepdims=True)
+        assert np.abs(out - ref).max() < 5e-3
+
+    def test_safe_with_large_magnitudes(self):
+        """Safe softmax handles rows near the FP16 limit."""
+        softmax, _ = self._softmax("lut")
+        scores = np.array([[60000.0, 59000.0, -60000.0]], dtype=np.float16)
+        out = softmax(scores)
+        assert np.isfinite(out.astype(np.float64)).all()
+        # the 1000-unit gap underflows FP16: all mass lands on the max
+        assert out[0, 0] == pytest.approx(1.0, abs=1e-3)
+        assert out[0, 1] < 1e-3 and out[0, 2] < 1e-3
+
+    def test_lut_requires_tcm(self):
+        with pytest.raises(KernelError):
+            OnChipSoftmax(HVXContext(), "lut", tcm=None)
+
+    def test_unknown_method(self):
+        with pytest.raises(KernelError):
+            OnChipSoftmax(HVXContext(), "taylor9", tcm=TCM())
+
+    def test_requires_2d(self):
+        softmax, _ = self._softmax("poly32")
+        with pytest.raises(KernelError):
+            softmax(np.zeros(8, dtype=np.float16))
+
+    def test_cost_ordering_lut_fastest(self, rng):
+        """Fig. 14: LUT < FP16 poly < FP32 poly in simulated time."""
+        scores = rng.normal(0, 2, (4, 4096)).astype(np.float16)
+        timing = TimingModel(V75)
+        seconds = {}
+        for method in EXP_METHODS:
+            softmax, hvx = self._softmax(method)
+            softmax(scores)
+            seconds[method] = timing.seconds(KernelCost.from_trace(hvx.trace))
+        assert seconds["lut"] < seconds["poly16"] < seconds["poly32"]
+
+    def test_speedup_in_paper_band(self, rng):
+        """Fig. 14: LUT speedup over FP32 exp within 1.26x-2.19x (+10%)."""
+        timing = TimingModel(V75)
+        for shape in ((1, 1024), (4, 4096), (16, 16384)):
+            scores = rng.normal(0, 2, shape).astype(np.float16)
+            seconds = {}
+            for method in ("poly32", "lut"):
+                softmax, hvx = self._softmax(method)
+                softmax(scores)
+                seconds[method] = timing.seconds(
+                    KernelCost.from_trace(hvx.trace))
+            ratio = seconds["poly32"] / seconds["lut"]
+            assert 1.26 * 0.9 <= ratio <= 2.19 * 1.1, shape

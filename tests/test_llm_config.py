@@ -1,0 +1,105 @@
+"""Unit tests for model configurations."""
+
+import pytest
+
+from repro.errors import ModelConfigError
+from repro.llm.config import MODEL_CONFIGS, get_model_config, tiny_config
+
+
+class TestModelConfigs:
+    def test_all_evaluated_models_present(self):
+        assert set(MODEL_CONFIGS) == {
+            "qwen2.5-1.5b", "qwen2.5-3b", "qwen2.5-7b",
+            "llama3.2-1b", "llama3.2-3b"}
+
+    @pytest.mark.parametrize("name,approx_params", [
+        ("qwen2.5-1.5b", 1.54e9),
+        ("qwen2.5-3b", 3.1e9),
+        ("qwen2.5-7b", 7.6e9),
+        ("llama3.2-1b", 1.24e9),
+        ("llama3.2-3b", 3.2e9),
+    ])
+    def test_parameter_counts_match_published(self, name, approx_params):
+        config = get_model_config(name)
+        assert config.param_count() == pytest.approx(approx_params, rel=0.08)
+
+    def test_qwen_gqa_geometry(self):
+        cfg = get_model_config("qwen2.5-1.5b")
+        assert cfg.n_heads == 12 and cfg.n_kv_heads == 2
+        assert cfg.gqa_group == 6
+        assert cfg.q_dim == 1536 and cfg.kv_dim == 256
+
+    def test_llama_1b_head_dim(self):
+        cfg = get_model_config("llama3.2-1b")
+        assert cfg.head_dim == 64 and cfg.q_dim == 2048
+
+    def test_projection_shapes_complete(self):
+        shapes = get_model_config("qwen2.5-3b").projection_shapes()
+        assert set(shapes) == {"wq", "wk", "wv", "wo", "w_gate", "w_up",
+                               "w_down"}
+        assert shapes["w_gate"] == (2048, 11008)
+        assert shapes["w_down"] == (11008, 2048)
+
+    def test_case_insensitive_lookup(self):
+        assert get_model_config("Qwen2.5-1.5B").name == "qwen2.5-1.5b"
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelConfigError):
+            get_model_config("gpt-17")
+
+    def test_gqa_divisibility_enforced(self):
+        with pytest.raises(ModelConfigError):
+            tiny_config(n_heads=5, n_kv_heads=2, hidden_dim=80)
+
+
+class TestMemoryAccounting:
+    def test_npu_weights_1p5b_near_paper_dmabuf(self):
+        """§7.5: dmabuf totals 1056 MiB for 1.5B at ctx 4096."""
+        cfg = get_model_config("qwen2.5-1.5b")
+        total = cfg.npu_weight_bytes() + cfg.kv_cache_bytes(4096)
+        assert total / 2**20 == pytest.approx(1000, rel=0.08)
+
+    def test_npu_weights_3b_near_paper_dmabuf(self):
+        cfg = get_model_config("qwen2.5-3b")
+        total = cfg.npu_weight_bytes() + cfg.kv_cache_bytes(4096)
+        assert total / 2**20 == pytest.approx(2020, rel=0.08)
+
+    def test_kv_cache_scales_with_batch_and_context(self):
+        cfg = get_model_config("qwen2.5-1.5b")
+        base = cfg.kv_cache_bytes(1024, 1)
+        assert cfg.kv_cache_bytes(2048, 1) == 2 * base
+        assert cfg.kv_cache_bytes(1024, 4) == 4 * base
+
+    def test_kv_cache_validation(self):
+        cfg = get_model_config("qwen2.5-1.5b")
+        with pytest.raises(ModelConfigError):
+            cfg.kv_cache_bytes(0)
+
+    def test_tied_embeddings_share_lm_head(self):
+        qwen = get_model_config("qwen2.5-1.5b")   # tied
+        qwen7 = get_model_config("qwen2.5-7b")    # untied
+        assert qwen.cpu_weight_bytes() < \
+            qwen.lm_head_bytes() + qwen.vocab_size * qwen.hidden_dim
+        assert qwen7.cpu_weight_bytes() > qwen7.lm_head_bytes()
+
+    def test_3b_exceeds_8g2_va_space(self):
+        """§7.2.1: >=3B models cannot map into 2 GiB of NPU VA space."""
+        from repro.npu.timing import V73
+        cfg = get_model_config("qwen2.5-3b")
+        assert cfg.npu_session_bytes(4096) > V73.npu_va_space_bytes
+
+    def test_1p5b_fits_8g2_va_space(self):
+        from repro.npu.timing import V73
+        cfg = get_model_config("qwen2.5-1.5b")
+        assert cfg.npu_session_bytes(4096) < V73.npu_va_space_bytes
+
+
+class TestTinyConfig:
+    def test_defaults_valid(self):
+        cfg = tiny_config()
+        assert cfg.head_dim * cfg.n_heads == cfg.hidden_dim
+        assert cfg.param_count() > 0
+
+    def test_custom_dims(self):
+        cfg = tiny_config(hidden_dim=128, n_heads=8, n_kv_heads=4)
+        assert cfg.head_dim == 16 and cfg.gqa_group == 2

@@ -1,0 +1,111 @@
+"""Unit tests for the inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressSpaceError, EngineError
+from repro.llm.engine import InferenceEngine
+from repro.llm.sampler import Sampler
+from repro.npu.soc import get_device
+
+
+@pytest.fixture
+def engine(tiny_model):
+    return InferenceEngine(tiny_model, batch=4, max_context=48)
+
+
+class TestPrefillDecode:
+    def test_prefill_returns_last_logits(self, engine):
+        logits, cost = engine.prefill([1, 2, 3])
+        assert logits.shape == (engine.model.config.vocab_size,)
+        assert cost.npu.hmx_tile_macs > 0
+
+    def test_empty_prompt_rejected(self, engine):
+        with pytest.raises(EngineError):
+            engine.prefill([])
+
+    def test_prompt_exceeding_context(self, engine):
+        with pytest.raises(EngineError):
+            engine.prefill(list(range(60)))
+
+    def test_fork_then_batch_decode(self, engine):
+        engine.prefill([1, 2, 3], seq=0)
+        engine.fork_prompt(0)
+        logits, _ = engine.decode_step([5, 6, 7, 8])
+        assert logits.shape == (4, engine.model.config.vocab_size)
+        assert engine.cache.sequence_length(2) == 4
+
+    def test_reset_clears_cache(self, engine):
+        engine.prefill([1, 2, 3])
+        engine.reset()
+        assert engine.cache.sequence_length(0) == 0
+
+
+class TestGenerate:
+    def test_generates_n_candidates(self, engine):
+        result = engine.generate([1, 2], max_new_tokens=5,
+                                 sampler=Sampler(temperature=1.0, seed=3))
+        assert len(result.sequences) == 4
+        assert all(len(s) == 5 for s in result.sequences)
+        assert result.n_decode_steps == 4
+
+    def test_candidates_diverse(self, engine):
+        result = engine.generate([1, 2], max_new_tokens=6,
+                                 sampler=Sampler(temperature=1.5, seed=9))
+        unique = {tuple(s) for s in result.sequences}
+        assert len(unique) > 1  # independent samples diverge
+
+    def test_greedy_candidates_identical(self, engine):
+        result = engine.generate([1, 2], max_new_tokens=4,
+                                 sampler=Sampler(temperature=0.0))
+        unique = {tuple(s) for s in result.sequences}
+        assert len(unique) == 1
+
+    def test_eos_stops_sequence(self, engine, tiny_model):
+        # force EOS immediately by making every token the eos id
+        sampler = Sampler(temperature=0.0)
+        logits, _ = engine.prefill([1])
+        eos = int(logits.argmax())
+        engine.reset()
+        result = engine.generate([1], max_new_tokens=8, sampler=sampler,
+                                 eos_id=eos)
+        assert all(len(s) == 1 for s in result.sequences)
+
+    def test_budget_validation(self, engine):
+        with pytest.raises(EngineError):
+            engine.generate([1], max_new_tokens=0)
+        with pytest.raises(EngineError):
+            engine.generate([1], max_new_tokens=5, n_candidates=9)
+
+    def test_context_budget_validation(self, engine):
+        with pytest.raises(EngineError):
+            engine.generate(list(range(40)), max_new_tokens=20)
+
+    def test_decode_costs_collected(self, engine):
+        result = engine.generate([1, 2], max_new_tokens=3,
+                                 sampler=Sampler(temperature=1.0, seed=1))
+        assert len(result.decode_costs) == 2
+        assert all(c.npu.dma_bytes > 0 for c in result.decode_costs)
+
+
+class TestDevicePlacement:
+    def test_tiny_model_maps_on_any_device(self, tiny_model):
+        engine = InferenceEngine(tiny_model, batch=2, max_context=32,
+                                 device=get_device("oneplus_ace3"))
+        assert engine.heap is not None
+        assert engine.heap.total_mapped_bytes() > 0
+
+    def test_3b_rejected_on_8g2(self):
+        """§7.2.1: the 8 Gen 2 VA space rejects >=3B models."""
+        from repro.llm.config import get_model_config
+        from repro.npu.memory import RpcMemHeap
+
+        cfg = get_model_config("qwen2.5-3b")
+        device = get_device("oneplus_ace3")
+        heap = device.rpcmem_heap()
+        with pytest.raises(AddressSpaceError):
+            heap.alloc(cfg.npu_session_bytes(4096), name="session")
+
+    def test_engine_parameter_validation(self, tiny_model):
+        with pytest.raises(EngineError):
+            InferenceEngine(tiny_model, batch=0, max_context=16)

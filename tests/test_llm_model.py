@@ -1,0 +1,135 @@
+"""Unit tests for the NPU transformer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError
+from repro.llm.config import tiny_config
+from repro.llm.model import NPUTransformer, TransformerWeights, reference_forward
+from repro.llm.perplexity import top1_agreement
+
+
+class TestWeightGeneration:
+    def test_deterministic(self):
+        cfg = tiny_config()
+        a = TransformerWeights.generate(cfg, seed=7)
+        b = TransformerWeights.generate(cfg, seed=7)
+        assert np.array_equal(a.layers[0]["wq"], b.layers[0]["wq"])
+
+    def test_seed_changes_weights(self):
+        cfg = tiny_config()
+        a = TransformerWeights.generate(cfg, seed=1)
+        b = TransformerWeights.generate(cfg, seed=2)
+        assert not np.array_equal(a.layers[0]["wq"], b.layers[0]["wq"])
+
+    def test_outliers_injected(self):
+        cfg = tiny_config()
+        plain = TransformerWeights.generate(cfg, seed=0, outlier_fraction=0.0)
+        spiky = TransformerWeights.generate(cfg, seed=0, outlier_fraction=5e-3,
+                                            outlier_scale=20.0)
+        assert np.abs(spiky.layers[0]["w_gate"]).max() > \
+            3 * np.abs(plain.layers[0]["w_gate"]).max()
+
+    def test_tied_embeddings(self):
+        cfg = tiny_config()  # tiny config ties embeddings
+        w = TransformerWeights.generate(cfg, seed=0)
+        assert np.array_equal(w.lm_head, w.embedding.T)
+
+    def test_layer_count(self):
+        w = TransformerWeights.generate(tiny_config(n_layers=3), seed=0)
+        assert len(w.layers) == 3
+
+
+class TestNPUForward:
+    def test_logit_shape(self, tiny_model):
+        cache = tiny_model.new_cache(1, 16)
+        tokens = np.array([[1, 2, 3]])
+        logits, _ = tiny_model.forward(tokens, cache)
+        assert logits.shape == (1, 3, tiny_model.config.vocab_size)
+
+    def test_agrees_with_quantized_reference(self, tiny_model):
+        tokens = np.arange(8)
+        cache = tiny_model.new_cache(1, 16)
+        logits, _ = tiny_model.forward(tokens[np.newaxis, :], cache)
+        ref = tiny_model.forward_reference(
+            tokens, tiny_model.dequantized_layer_weights())
+        assert top1_agreement(ref, logits[0]) > 0.8
+        assert np.abs(logits[0] - ref).max() < 0.05
+
+    def test_incremental_decode_matches_prefill(self, tiny_model):
+        """Prefill(a+b) equals prefill(a) then decode(b): KV-cache correctness."""
+        tokens = np.arange(6)
+        cache_full = tiny_model.new_cache(1, 16)
+        logits_full, _ = tiny_model.forward(tokens[np.newaxis, :], cache_full)
+
+        cache_inc = tiny_model.new_cache(1, 16)
+        tiny_model.forward(tokens[np.newaxis, :5], cache_inc)
+        logits_last, _ = tiny_model.forward(tokens[np.newaxis, 5:], cache_inc)
+        assert np.allclose(logits_full[0, -1], logits_last[0, 0], atol=1e-2)
+
+    def test_batch_decode_matches_individual(self, tiny_model):
+        """Batched decode produces the same logits as separate decodes."""
+        prompt = np.arange(4)
+        # two sequences with identical prompts
+        cache = tiny_model.new_cache(2, 16)
+        tiny_model.forward(prompt[np.newaxis, :], cache, sequences=[0])
+        cache.fork(0, [1])
+        batch_logits, _ = tiny_model.forward(np.array([[7], [9]]), cache,
+                                             sequences=[0, 1])
+
+        cache_a = tiny_model.new_cache(1, 16)
+        tiny_model.forward(prompt[np.newaxis, :], cache_a)
+        single_a, _ = tiny_model.forward(np.array([[7]]), cache_a)
+        cache_b = tiny_model.new_cache(1, 16)
+        tiny_model.forward(prompt[np.newaxis, :], cache_b)
+        single_b, _ = tiny_model.forward(np.array([[9]]), cache_b)
+
+        assert np.allclose(batch_logits[0, 0], single_a[0, 0], atol=2e-2)
+        assert np.allclose(batch_logits[1, 0], single_b[0, 0], atol=2e-2)
+
+    def test_cost_accumulates(self, tiny_model):
+        cache = tiny_model.new_cache(1, 8)
+        _, cost = tiny_model.forward(np.array([[1, 2]]), cache)
+        assert cost.npu.hmx_tile_macs > 0
+        assert cost.npu.dma_bytes > 0
+        assert cost.cpu_gemms == [(2, tiny_model.config.hidden_dim,
+                                   tiny_model.config.vocab_size)]
+
+    def test_token_range_check(self, tiny_model):
+        cache = tiny_model.new_cache(1, 8)
+        with pytest.raises(EngineError):
+            tiny_model.forward(np.array([[10 ** 6]]), cache)
+
+    def test_sequence_count_check(self, tiny_model):
+        cache = tiny_model.new_cache(2, 8)
+        with pytest.raises(EngineError):
+            tiny_model.forward(np.array([[1], [2]]), cache, sequences=[0])
+
+    def test_context_limit_check(self, tiny_weights):
+        cfg = tiny_weights.config
+        model = NPUTransformer(tiny_weights)
+        cache = model.new_cache(1, cfg.max_position + 64)
+        too_long = np.zeros((1, cfg.max_position + 1), dtype=np.int64)
+        with pytest.raises(EngineError):
+            model.forward(too_long, cache)
+
+
+class TestReferenceForward:
+    def test_shape(self, tiny_weights):
+        logits = reference_forward(tiny_weights, np.arange(5))
+        assert logits.shape == (5, tiny_weights.config.vocab_size)
+
+    def test_effective_weights_substitution(self, tiny_weights):
+        tokens = np.arange(5)
+        base = reference_forward(tiny_weights, tokens)
+        perturbed = []
+        for layer in tiny_weights.layers:
+            variant = {k: v + 0.01 for k, v in layer.items()
+                       if not k.startswith("norm")}
+            perturbed.append(variant)
+        other = reference_forward(tiny_weights, tokens, perturbed)
+        assert not np.allclose(base, other)
+
+    def test_layer_count_check(self, tiny_weights):
+        with pytest.raises(Exception):
+            reference_forward(tiny_weights, np.arange(3), [{}])

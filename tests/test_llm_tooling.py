@@ -1,0 +1,216 @@
+"""Tests for operator placement, checkpoints and the CLI."""
+
+import io
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError, ModelConfigError
+from repro.cli import main as cli_main
+from repro.llm import TransformerWeights, get_model_config, tiny_config
+from repro.llm.checkpoint import checkpoint_info, load_checkpoint, save_checkpoint
+from repro.llm.placement import (
+    OP_TYPES,
+    OpCatalog,
+    OpInstance,
+    PlacementPlan,
+    PlacementPolicy,
+    build_decode_ops,
+)
+from repro.npu.soc import get_device
+
+
+class TestOpPlacement:
+    def test_default_plan_pins_lm_head_to_cpu(self):
+        """The paper's placement: everything on the NPU except the
+        embedding lookup and the vocabulary projection."""
+        cfg = get_model_config("qwen2.5-1.5b")
+        ops = build_decode_ops(cfg, batch=4)
+        plan = PlacementPlan.build(ops, PlacementPolicy())
+        assert plan.device_of("lm_head") == "cpu"
+        assert plan.device_of("embedding") == "cpu"
+        assert plan.device_of("layer0.wq") == "npu"
+        assert plan.device_of("layer0.attention") == "npu"
+
+    def test_default_plan_has_two_crossings(self):
+        """CPU embedding -> NPU body -> CPU lm_head: exactly two boundary
+        crossings per step."""
+        cfg = get_model_config("qwen2.5-1.5b")
+        plan = PlacementPlan.build(build_decode_ops(cfg, 1), PlacementPolicy())
+        assert plan.n_crossings == 2
+
+    def test_missing_kernel_falls_back_to_cpu(self):
+        """§6: ops without NPU kernels run on the CPU seamlessly."""
+        cfg = tiny_config()
+        catalog = OpCatalog().without("swiglu")
+        plan = PlacementPlan.build(build_decode_ops(cfg, 1),
+                                   PlacementPolicy(catalog=catalog))
+        assert plan.device_of("layer0.swiglu") == "cpu"
+        assert plan.device_of("layer0.w_gate") == "npu"
+
+    def test_fallback_adds_crossings(self):
+        cfg = tiny_config()
+        default = PlacementPlan.build(build_decode_ops(cfg, 1),
+                                      PlacementPolicy())
+        degraded = PlacementPlan.build(
+            build_decode_ops(cfg, 1),
+            PlacementPolicy(catalog=OpCatalog().without("swiglu")))
+        # each fallback swiglu bounces NPU->CPU->NPU: 2 extra crossings/layer
+        assert degraded.n_crossings == \
+            default.n_crossings + 2 * cfg.n_layers
+
+    def test_crossing_cost_positive(self):
+        cfg = tiny_config()
+        device = get_device("oneplus_12")
+        degraded = PlacementPlan.build(
+            build_decode_ops(cfg, 1),
+            PlacementPolicy(catalog=OpCatalog().without("rms_norm")))
+        default = PlacementPlan.build(build_decode_ops(cfg, 1),
+                                      PlacementPolicy())
+        assert degraded.crossing_seconds(device) > \
+            default.crossing_seconds(device)
+        assert degraded.cpu_op_seconds(device) > \
+            default.cpu_op_seconds(device)
+
+    def test_pin_to_npu_requires_kernel(self):
+        policy = PlacementPolicy(pinned={"lm_head": "npu"})
+        op = OpInstance("lm_head", "lm_head", flops=1.0, activation_bytes=2)
+        with pytest.raises(EngineError):
+            policy.device_for(op)
+
+    def test_unknown_op_type_rejected(self):
+        with pytest.raises(EngineError):
+            OpInstance("x", "transcendence", flops=1.0, activation_bytes=2)
+        with pytest.raises(EngineError):
+            OpCatalog(frozenset({"teleport"}))
+
+    def test_build_decode_ops_structure(self):
+        cfg = tiny_config(n_layers=3)
+        ops = build_decode_ops(cfg, batch=2)
+        # embedding + 14 per layer + final norm + lm_head
+        assert len(ops) == 1 + 14 * 3 + 2
+        assert all(op.op_type in OP_TYPES for op in ops)
+
+    def test_batch_validation(self):
+        with pytest.raises(EngineError):
+            build_decode_ops(tiny_config(), batch=0)
+
+
+class TestCheckpoints:
+    @pytest.fixture(scope="class")
+    def weights(self):
+        return TransformerWeights.generate(tiny_config(), seed=0)
+
+    def test_f16_roundtrip(self, weights, tmp_path):
+        path = tmp_path / "m.f16.ckpt"
+        save_checkpoint(path, weights, codec="f16")
+        back = load_checkpoint(path)
+        assert back.config == weights.config
+        expected = weights.layers[0]["wq"].astype(np.float16).astype(np.float32)
+        assert np.array_equal(back.layers[0]["wq"], expected)
+
+    def test_q4_matches_quantize_roundtrip(self, weights, tmp_path):
+        from repro.quant.tile_quant import dequantize_weight, quantize_tile_group
+        path = tmp_path / "m.q4.ckpt"
+        save_checkpoint(path, weights, codec="q4")
+        back = load_checkpoint(path)
+        ref = dequantize_weight(
+            quantize_tile_group(weights.layers[0]["w_up"])).astype(np.float32)
+        assert np.array_equal(back.layers[0]["w_up"], ref)
+
+    def test_q4_down_projection_is_q8(self, weights, tmp_path):
+        path = tmp_path / "m.q4.ckpt"
+        save_checkpoint(path, weights, codec="q4")
+        info = checkpoint_info(path)
+        codecs = {t["name"]: t["codec"] for t in info["tensors"]}
+        assert codecs["layers.0.w_down"] == "q8_tile"
+        assert codecs["layers.0.w_gate"] == "q4_tile"
+
+    def test_q4_projections_near_45_bpw(self, tmp_path):
+        """On-disk projection cost sits at the Q4_0 4.5 bits per weight."""
+        cfg = tiny_config(n_layers=2, hidden_dim=128, n_heads=4, n_kv_heads=2,
+                          intermediate_dim=256)
+        weights = TransformerWeights.generate(cfg, seed=1)
+        path = tmp_path / "m.q4.ckpt"
+        save_checkpoint(path, weights, codec="q4")
+        info = checkpoint_info(path)
+        gate = next(t for t in info["tensors"]
+                    if t["name"] == "layers.0.w_gate")
+        n_params = gate["shape"][0] * gate["shape"][1]
+        bpw = 8.0 * gate["nbytes"] / n_params
+        assert bpw == pytest.approx(4.5, rel=0.02)
+
+    def test_q4_smaller_than_f16(self, weights, tmp_path):
+        f16 = save_checkpoint(tmp_path / "a.ckpt", weights, codec="f16")
+        q4 = save_checkpoint(tmp_path / "b.ckpt", weights, codec="q4")
+        assert q4 < f16
+
+    def test_loaded_model_runs(self, weights, tmp_path):
+        from repro.llm import NPUTransformer
+        path = tmp_path / "m.q4.ckpt"
+        save_checkpoint(path, weights, codec="q4")
+        model = NPUTransformer(load_checkpoint(path))
+        cache = model.new_cache(1, 8)
+        logits, _ = model.forward(np.array([[1, 2, 3]]), cache)
+        assert logits.shape == (1, 3, weights.config.vocab_size)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"GGUFnope" + b"\0" * 64)
+        with pytest.raises(ModelConfigError):
+            load_checkpoint(path)
+
+    def test_unknown_codec_rejected(self, weights, tmp_path):
+        with pytest.raises(ModelConfigError):
+            save_checkpoint(tmp_path / "x.ckpt", weights, codec="q2")
+
+
+class TestCLI:
+    def _run(self, argv):
+        out = io.StringIO()
+        status = cli_main(argv, out=out)
+        return status, out.getvalue()
+
+    def test_experiments_lists_all(self):
+        status, text = self._run(["experiments"])
+        assert status == 0
+        for eid in ("table1", "fig15", "fig10"):
+            assert eid in text
+
+    def test_run_fast_experiment(self):
+        status, text = self._run(["run", "table2"])
+        assert status == 0
+        assert "12032.54" in text
+
+    def test_run_unknown_experiment(self):
+        status, text = self._run(["run", "fig99"])
+        assert status == 2
+        assert "error" in text
+
+    def test_devices(self):
+        status, text = self._run(["devices"])
+        assert status == 0
+        assert "OnePlus 12" in text
+
+    def test_plan_fits_and_rejects(self):
+        status, text = self._run(["plan", "qwen2.5-3b"])
+        assert status == 0
+        assert "no: NPU VA space" in text
+        assert "yes" in text
+
+    def test_plan_unknown_model(self):
+        status, text = self._run(["plan", "gpt-11"])
+        assert status == 2
+
+    def test_sweep(self):
+        status, text = self._run(["sweep", "qwen2.5-1.5b", "math500",
+                                  "--budgets", "1", "4",
+                                  "--problems", "60"])
+        assert status == 0
+        assert "accuracy" in text
+
+    def test_sweep_bad_method(self):
+        status, text = self._run(["sweep", "qwen2.5-1.5b", "math500",
+                                  "--method", "psychic", "--problems", "30"])
+        assert status == 2

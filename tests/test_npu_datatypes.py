@@ -1,0 +1,134 @@
+"""Unit tests for FP16/FP32 bit-manipulation primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.npu.datatypes import (
+    add_to_exponent_fp16,
+    add_to_exponent_fp32,
+    bits_to_fp16,
+    compose_fp16,
+    fp16_exponent_field,
+    fp16_mantissa_field,
+    fp16_sign,
+    fp16_to_bits,
+    qfloat_round,
+    QFloatMode,
+    split_int_frac,
+)
+
+
+class TestBitCasts:
+    def test_roundtrip_fp16_bits(self):
+        values = np.array([0.0, 1.0, -1.0, 0.5, 65504.0, -65504.0],
+                          dtype=np.float16)
+        assert np.array_equal(bits_to_fp16(fp16_to_bits(values)), values)
+
+    def test_known_patterns(self):
+        assert fp16_to_bits(np.float16(1.0)) == 0x3C00
+        assert fp16_to_bits(np.float16(-2.0)) == 0xC000
+        assert fp16_to_bits(np.float16(0.0)) == 0x0000
+
+    def test_sign_extraction(self):
+        values = np.array([1.0, -1.0, 0.0, -0.0], dtype=np.float16)
+        assert fp16_sign(values).tolist() == [0, 1, 0, 1]
+
+    def test_exponent_field_of_one(self):
+        assert fp16_exponent_field(np.float16(1.0)) == 15  # bias
+
+    def test_exponent_field_of_two(self):
+        assert fp16_exponent_field(np.float16(2.0)) == 16
+
+    def test_mantissa_field_of_1p5(self):
+        # 1.5 = 1.1b -> mantissa 0b1000000000
+        assert fp16_mantissa_field(np.float16(1.5)) == 0x200
+
+    def test_compose_reconstructs(self):
+        values = np.array([1.0, -3.5, 0.125, 100.0], dtype=np.float16)
+        rebuilt = compose_fp16(fp16_sign(values), fp16_exponent_field(values),
+                               fp16_mantissa_field(values))
+        assert np.array_equal(rebuilt, values)
+
+    def test_compose_masks_extra_bits(self):
+        # exponent 0x3F masks to 0x1F
+        out = compose_fp16(np.uint16(0), np.uint16(0x3F), np.uint16(0))
+        assert fp16_exponent_field(out) == 0x1F
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_bits_roundtrip_all_patterns(self, pattern):
+        bits = np.uint16(pattern)
+        assert fp16_to_bits(bits_to_fp16(bits)) == bits
+
+
+class TestExponentArithmetic:
+    def test_fp32_scale_by_power(self):
+        x = np.array([1.5, -2.25, 3.0], dtype=np.float32)
+        out = add_to_exponent_fp32(x, np.array([3, 3, 3]))
+        assert np.allclose(out, x * 8.0)
+
+    def test_fp32_negative_power(self):
+        x = np.array([4.0], dtype=np.float32)
+        assert add_to_exponent_fp32(x, np.array([-2]))[0] == 1.0
+
+    def test_fp16_scale_by_power(self):
+        x = np.array([1.0, 0.5], dtype=np.float16)
+        out = add_to_exponent_fp16(x, np.array([2, 2]))
+        assert np.array_equal(out, np.array([4.0, 2.0], dtype=np.float16))
+
+    @given(st.floats(min_value=0.5, max_value=2.0),
+           st.integers(min_value=-8, max_value=8))
+    @settings(max_examples=60)
+    def test_fp32_exponent_add_matches_ldexp(self, mantissa, k):
+        x = np.array([mantissa], dtype=np.float32)
+        out = add_to_exponent_fp32(x, np.array([k]))
+        assert np.allclose(out, np.ldexp(x, k), rtol=1e-6)
+
+    @given(st.floats(min_value=0.5, max_value=1.999),
+           st.integers(min_value=-5, max_value=5))
+    @settings(max_examples=60)
+    def test_fp16_exponent_add_matches_ldexp(self, mantissa, k):
+        x = np.array([mantissa], dtype=np.float16)
+        out = add_to_exponent_fp16(x, np.array([k]))
+        expected = np.ldexp(x.astype(np.float32), k).astype(np.float16)
+        assert np.array_equal(out, expected)
+
+
+class TestSplitIntFrac:
+    def test_positive(self):
+        k, f = split_int_frac(np.array([2.75]))
+        assert k[0] == 2 and abs(f[0] - 0.75) < 1e-6
+
+    def test_negative_floors(self):
+        k, f = split_int_frac(np.array([-1.25]))
+        assert k[0] == -2 and abs(f[0] - 0.75) < 1e-6
+
+    def test_integers_have_zero_frac(self):
+        k, f = split_int_frac(np.array([-3.0, 0.0, 7.0]))
+        assert k.tolist() == [-3, 0, 7]
+        assert np.all(f == 0)
+
+    @given(st.floats(min_value=-50, max_value=50,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=80)
+    def test_reconstruction(self, x):
+        k, f = split_int_frac(np.array([x], dtype=np.float32))
+        assert 0.0 <= f[0] < 1.0
+        assert abs((k[0] + f[0]) - np.float32(x)) < 1e-4
+
+
+class TestQFloat:
+    def test_mode_validation(self):
+        assert QFloatMode.validate("qfloat") == "qfloat"
+        assert QFloatMode.validate("ieee") == "ieee"
+        with pytest.raises(ValueError):
+            QFloatMode.validate("bogus")
+
+    def test_qfloat_round_idempotent_on_fp16(self):
+        values = np.array([1.0, 0.333251953125, -7.5], dtype=np.float16)
+        assert np.array_equal(qfloat_round(values), values)
+
+    def test_qfloat_round_narrows_fp32(self):
+        out = qfloat_round(np.array([1.0000001], dtype=np.float32))
+        assert out.dtype == np.float16

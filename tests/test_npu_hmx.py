@@ -1,0 +1,188 @@
+"""Unit tests for the HMX matrix-unit model and tile layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TileShapeError
+from repro.npu.hmx import (
+    TILE_DIM,
+    TILE_ELEMS,
+    HMXUnit,
+    hmx_layout_order,
+    matrix_from_hmx_layout,
+    matrix_to_hmx_layout,
+    pad_to_tiles,
+    tile_permute,
+    tile_unpermute,
+)
+
+
+class TestTilePermute:
+    def test_roundtrip(self, rng):
+        tile = rng.normal(size=(TILE_DIM, TILE_DIM)).astype(np.float16)
+        assert np.array_equal(tile_unpermute(tile_permute(tile)), tile)
+
+    def test_paired_row_interleave(self):
+        """Fig. 4a: two adjacent rows store as the transposed 2x32 block."""
+        tile = np.zeros((TILE_DIM, TILE_DIM))
+        tile[0, :] = np.arange(TILE_DIM)          # even row
+        tile[1, :] = np.arange(TILE_DIM) + 100    # odd row
+        flat = tile_permute(tile)
+        # first 64 elements: e0, o0, e1, o1, ...
+        assert flat[0] == 0 and flat[1] == 100
+        assert flat[2] == 1 and flat[3] == 101
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(TileShapeError):
+            tile_permute(np.zeros((16, 32)))
+        with pytest.raises(TileShapeError):
+            tile_unpermute(np.zeros(100))
+
+    @given(st.integers(min_value=0, max_value=999))
+    @settings(max_examples=30)
+    def test_permutation_is_bijection(self, seed):
+        tile = np.random.default_rng(seed).permutation(TILE_ELEMS)
+        tile = tile.reshape(TILE_DIM, TILE_DIM)
+        flat = tile_permute(tile)
+        assert sorted(flat.tolist()) == list(range(TILE_ELEMS))
+
+
+class TestMatrixLayout:
+    def test_roundtrip_aligned(self, rng):
+        matrix = rng.normal(size=(64, 96)).astype(np.float16)
+        layout, padded = matrix_to_hmx_layout(matrix)
+        back = matrix_from_hmx_layout(layout, padded, matrix.shape)
+        assert np.array_equal(back, matrix)
+
+    def test_roundtrip_with_padding(self, rng):
+        matrix = rng.normal(size=(50, 70)).astype(np.float16)
+        layout, padded = matrix_to_hmx_layout(matrix)
+        assert padded == (64, 96)
+        back = matrix_from_hmx_layout(layout, padded, matrix.shape)
+        assert np.array_equal(back, matrix)
+
+    def test_tiles_are_column_major(self):
+        """Fig. 4b: tiles are emitted column-by-column."""
+        matrix = np.zeros((64, 64))
+        matrix[32:, :32] = 1.0  # tile (1, 0): second in column-major order
+        layout, _ = matrix_to_hmx_layout(matrix)
+        assert np.all(layout[TILE_ELEMS:2 * TILE_ELEMS] == 1.0)
+        assert np.all(layout[:TILE_ELEMS] == 0.0)
+
+    def test_pad_to_tiles(self):
+        assert pad_to_tiles(np.zeros((32, 32))).shape == (32, 32)
+        assert pad_to_tiles(np.zeros((33, 1))).shape == (64, 32)
+
+    def test_pad_requires_2d(self):
+        with pytest.raises(TileShapeError):
+            pad_to_tiles(np.zeros(10))
+
+    def test_layout_order_is_permutation(self):
+        order = hmx_layout_order(64, 32)
+        assert sorted(order.tolist()) == list(range(64 * 32))
+
+    def test_layout_order_requires_alignment(self):
+        with pytest.raises(TileShapeError):
+            hmx_layout_order(30, 32)
+
+    def test_layout_order_matches_layout(self, rng):
+        matrix = rng.normal(size=(32, 64)).astype(np.float32)
+        order = hmx_layout_order(32, 64)
+        layout, _ = matrix_to_hmx_layout(matrix)
+        assert np.array_equal(matrix.ravel()[order], layout)
+
+    def test_buffer_size_validation(self):
+        with pytest.raises(TileShapeError):
+            matrix_from_hmx_layout(np.zeros(10), (32, 32))
+        with pytest.raises(TileShapeError):
+            matrix_from_hmx_layout(np.zeros(32 * 32), (30, 32))
+
+
+class TestHMXUnit:
+    def test_gemm_matches_numpy(self, rng):
+        a = rng.normal(size=(5, 40)).astype(np.float16)
+        b = rng.normal(size=(40, 33)).astype(np.float16)
+        hmx = HMXUnit()
+        out = hmx.gemm(a, b)
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        assert out.shape == (5, 33)
+        assert np.allclose(out.astype(np.float32), ref, rtol=2e-3, atol=2e-3)
+
+    def test_gemm_counts_tile_macs(self, rng):
+        a = rng.normal(size=(1, 64)).astype(np.float16)
+        b = rng.normal(size=(64, 96)).astype(np.float16)
+        hmx = HMXUnit()
+        hmx.gemm(a, b)
+        assert hmx.trace.count("hmx_tile_mac") == 1 * 2 * 3
+
+    def test_single_token_wastes_tile(self):
+        """The paper's core observation: m=1 costs as much as m=32."""
+        assert HMXUnit.tile_macs_for_gemm(1, 64, 64) == \
+            HMXUnit.tile_macs_for_gemm(32, 64, 64)
+        assert HMXUnit.tile_macs_for_gemm(33, 64, 64) == \
+            2 * HMXUnit.tile_macs_for_gemm(32, 64, 64)
+
+    def test_fp32_accumulation(self):
+        """FP16 inputs, FP32 accumulate: sum of many small values survives."""
+        k = 2048
+        a = np.full((1, k), 0.1, dtype=np.float16)
+        b = np.full((k, 1), 0.1, dtype=np.float16)
+        out = HMXUnit().gemm(a, b, out_dtype=np.float32)
+        # pure-FP16 accumulation would stall near 512 once the running sum
+        # saturates FP16 precision; FP32 accumulation stays accurate
+        assert abs(out[0, 0] - k * 0.1 * 0.1) / (k * 0.01) < 2e-3
+
+    def test_tile_mac_shape_checks(self):
+        hmx = HMXUnit()
+        acc = np.zeros((TILE_DIM, TILE_DIM), dtype=np.float32)
+        with pytest.raises(TileShapeError):
+            hmx.tile_mac(np.zeros((16, 32)), np.zeros((32, 32)), acc)
+        with pytest.raises(TileShapeError):
+            hmx.tile_mac(np.zeros((32, 32)), np.zeros((32, 32)),
+                         np.zeros((16, 16)))
+
+    def test_gemm_dim_checks(self):
+        hmx = HMXUnit()
+        with pytest.raises(TileShapeError):
+            hmx.gemm(np.zeros((2, 3)), np.zeros((4, 5)))
+        with pytest.raises(TileShapeError):
+            hmx.gemm(np.zeros(3), np.zeros((3, 4)))
+
+    def test_emit_output_tile_scale_bias(self):
+        hmx = HMXUnit()
+        acc = np.ones((TILE_DIM, TILE_DIM), dtype=np.float32)
+        scale = np.full(TILE_DIM, 2.0, dtype=np.float32)
+        bias = np.full(TILE_DIM, 1.0, dtype=np.float32)
+        out = hmx.emit_output_tile(acc, scale, bias)
+        assert np.all(out == np.float16(3.0))
+
+    def test_emit_output_tile_bad_scale(self):
+        hmx = HMXUnit()
+        acc = np.zeros((TILE_DIM, TILE_DIM), dtype=np.float32)
+        with pytest.raises(TileShapeError):
+            hmx.emit_output_tile(acc, channel_scale=np.zeros(8))
+
+    def test_tile_macs_positive_dims(self):
+        with pytest.raises(TileShapeError):
+            HMXUnit.tile_macs_for_gemm(0, 32, 32)
+
+    @given(st.integers(1, 100), st.integers(1, 100), st.integers(1, 100))
+    @settings(max_examples=50)
+    def test_tile_mac_count_formula(self, m, k, n):
+        count = HMXUnit.tile_macs_for_gemm(m, k, n)
+        expected = -(-m // 32) * -(-k // 32) * -(-n // 32)
+        assert count == expected
+
+
+class TestLayoutGemmEquivalence:
+    def test_gemm_through_layout_roundtrip(self, rng):
+        """GEMM on layout-roundtripped weights equals GEMM on originals."""
+        a = rng.normal(size=(4, 48)).astype(np.float16)
+        w = rng.normal(size=(48, 80)).astype(np.float16)
+        layout, padded = matrix_to_hmx_layout(w)
+        w_back = matrix_from_hmx_layout(layout, padded, w.shape)
+        out_direct = HMXUnit().gemm(a, w)
+        out_layout = HMXUnit().gemm(a, w_back)
+        assert np.array_equal(out_direct, out_layout)

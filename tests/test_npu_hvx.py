@@ -1,0 +1,269 @@
+"""Unit tests for the HVX vector-unit functional model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LUTError, RegisterError
+from repro.npu.hvx import (
+    VECTOR_BYTES,
+    VGATHER_ELEMENTS,
+    HVXContext,
+    InstructionTrace,
+    vectors_for_bytes,
+)
+
+
+class TestVectorsForBytes:
+    def test_zero(self):
+        assert vectors_for_bytes(0) == 0
+
+    def test_partial_register_rounds_up(self):
+        assert vectors_for_bytes(1) == 1
+        assert vectors_for_bytes(127) == 1
+        assert vectors_for_bytes(128) == 1
+        assert vectors_for_bytes(129) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            vectors_for_bytes(-1)
+
+    @given(st.integers(min_value=0, max_value=10**7))
+    @settings(max_examples=50)
+    def test_covers_bytes(self, n):
+        v = vectors_for_bytes(n)
+        assert v * VECTOR_BYTES >= n
+        assert (v - 1) * VECTOR_BYTES < n or n == 0
+
+
+class TestInstructionTrace:
+    def test_record_and_count(self):
+        trace = InstructionTrace()
+        trace.record("vadd_hf", 3)
+        trace.record("vadd_hf")
+        assert trace.count("vadd_hf") == 4
+        assert trace.total() == 4
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionTrace().record("x", -1)
+
+    def test_merge(self):
+        a, b = InstructionTrace(), InstructionTrace()
+        a.record("vlut16", 2)
+        b.record("vlut16", 5)
+        b.record("vgather", 1)
+        a.merge(b)
+        assert a.count("vlut16") == 7
+        assert a.count("vgather") == 1
+
+    def test_clear(self):
+        trace = InstructionTrace()
+        trace.record("vror", 9)
+        trace.clear()
+        assert trace.total() == 0
+
+
+class TestVlut16:
+    def test_lookup_values(self):
+        hvx = HVXContext()
+        table = np.arange(16, dtype=np.float16) - 8
+        idx = np.array([0, 15, 8, 3], dtype=np.uint8)
+        out = hvx.vlut16(idx, table)
+        assert out.tolist() == [-8.0, 7.0, 0.0, -5.0]
+
+    def test_counts_one_per_vector(self):
+        hvx = HVXContext()
+        idx = np.zeros(256, dtype=np.uint8)  # 2 vectors of bytes
+        hvx.vlut16(idx, np.zeros(16, dtype=np.float16))
+        assert hvx.trace.count("vlut16") == 2
+
+    def test_bad_table_size(self):
+        with pytest.raises(LUTError):
+            HVXContext().vlut16(np.zeros(4, dtype=np.uint8),
+                                np.zeros(8, dtype=np.float16))
+
+    def test_out_of_range_index(self):
+        with pytest.raises(LUTError):
+            HVXContext().vlut16(np.array([16], dtype=np.uint8),
+                                np.zeros(16, dtype=np.float16))
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=300))
+    @settings(max_examples=40)
+    def test_matches_direct_indexing(self, indices):
+        hvx = HVXContext()
+        table = (np.arange(16) * 0.25 - 2).astype(np.float16)
+        idx = np.array(indices, dtype=np.uint8)
+        assert np.array_equal(hvx.vlut16(idx, table), table[idx])
+
+
+class TestVgather:
+    def _table(self):
+        values = np.arange(512, dtype=np.uint16)
+        return values.view(np.uint8), values
+
+    def test_gathers_elements(self):
+        hvx = HVXContext()
+        table_bytes, values = self._table()
+        offsets = np.array([0, 2, 10, 1022])
+        out = hvx.vgather(table_bytes, offsets)
+        assert out.tolist() == [values[0], values[1], values[5], values[511]]
+
+    def test_instruction_count(self):
+        hvx = HVXContext()
+        table_bytes, _ = self._table()
+        offsets = np.zeros(VGATHER_ELEMENTS * 3 + 1, dtype=np.int64)
+        hvx.vgather(table_bytes, offsets)
+        assert hvx.trace.count("vgather") == 4
+
+    def test_empty_gather(self):
+        hvx = HVXContext()
+        table_bytes, _ = self._table()
+        assert hvx.vgather(table_bytes, np.array([], dtype=np.int64)).size == 0
+        assert hvx.trace.count("vgather") == 0
+
+    def test_misaligned_offset_rejected(self):
+        hvx = HVXContext()
+        table_bytes, _ = self._table()
+        with pytest.raises(LUTError):
+            hvx.vgather(table_bytes, np.array([1]))
+
+    def test_out_of_window_rejected(self):
+        hvx = HVXContext()
+        table_bytes, _ = self._table()
+        with pytest.raises(LUTError):
+            hvx.vgather(table_bytes, np.array([table_bytes.size]))
+
+    def test_negative_offset_rejected(self):
+        hvx = HVXContext()
+        table_bytes, _ = self._table()
+        with pytest.raises(LUTError):
+            hvx.vgather(table_bytes, np.array([-2]))
+
+
+class TestShuffles:
+    def test_shuffle_interleaves(self):
+        hvx = HVXContext()
+        even = np.array([1, 2, 3], dtype=np.float16)
+        odd = np.array([4, 5, 6], dtype=np.float16)
+        assert hvx.vshuff_pair_rows(even, odd).tolist() == [1, 4, 2, 5, 3, 6]
+
+    def test_deal_inverts_shuffle(self):
+        hvx = HVXContext()
+        even = np.arange(32, dtype=np.float16)
+        odd = np.arange(32, 64, dtype=np.float16)
+        mixed = hvx.vshuff_pair_rows(even, odd)
+        back_even, back_odd = hvx.vdeal_pair_rows(mixed)
+        assert np.array_equal(back_even, even)
+        assert np.array_equal(back_odd, odd)
+
+    def test_shuffle_shape_mismatch(self):
+        hvx = HVXContext()
+        with pytest.raises(RegisterError):
+            hvx.vshuff_pair_rows(np.zeros(4), np.zeros(5))
+
+    def test_deal_odd_count_rejected(self):
+        with pytest.raises(RegisterError):
+            HVXContext().vdeal_pair_rows(np.zeros(5))
+
+    def test_vror_rotates_bytes(self):
+        hvx = HVXContext()
+        data = np.arange(8, dtype=np.uint8)
+        out = hvx.vror(data, 2)
+        assert out.tolist() == [2, 3, 4, 5, 6, 7, 0, 1]
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30)
+    def test_shuffle_roundtrip_property(self, n):
+        hvx = HVXContext()
+        rng = np.random.default_rng(n)
+        even = rng.normal(size=n).astype(np.float16)
+        odd = rng.normal(size=n).astype(np.float16)
+        e2, o2 = hvx.vdeal_pair_rows(hvx.vshuff_pair_rows(even, odd))
+        assert np.array_equal(e2, even) and np.array_equal(o2, odd)
+
+
+class TestArithmetic:
+    def test_fp16_add(self):
+        hvx = HVXContext()
+        out = hvx.vadd_hf(np.float16([1.5]), np.float16([2.25]))
+        assert out[0] == np.float16(3.75)
+
+    def test_qfloat_conversion_charged(self):
+        hvx = HVXContext("qfloat")
+        hvx.vmpy_hf(np.zeros(64, dtype=np.float16),
+                    np.zeros(64, dtype=np.float16), to_ieee=True)
+        assert hvx.trace.count("vconv") == 1
+
+    def test_ieee_mode_skips_conversion(self):
+        hvx = HVXContext("ieee")
+        hvx.vmpy_hf(np.zeros(64, dtype=np.float16),
+                    np.zeros(64, dtype=np.float16), to_ieee=True)
+        assert hvx.trace.count("vconv") == 0
+
+    def test_max_min(self):
+        hvx = HVXContext()
+        a = np.float16([1, 5, -2])
+        b = np.float16([2, 4, -3])
+        assert hvx.vmax_hf(a, b).tolist() == [2, 5, -2]
+        assert hvx.vmin_hf(a, b).tolist() == [1, 4, -3]
+
+    def test_qf32_accumulation_precision(self):
+        hvx = HVXContext()
+        # values too fine for FP16 but preserved in the qf32 path
+        out = hvx.vadd_qf32(np.float32([1.0]), np.float32([1e-4]))
+        assert out.dtype == np.float32
+        assert out[0] != np.float32(1.0)
+
+    def test_splat(self):
+        hvx = HVXContext()
+        out = hvx.vsplat_hf(2.5, 64)
+        assert out.shape == (64,) and np.all(out == np.float16(2.5))
+
+    def test_byte_ops(self):
+        hvx = HVXContext()
+        data = np.array([0xAB], dtype=np.uint8)
+        assert hvx.vand(data, 0x0F)[0] == 0x0B
+        assert hvx.vlsr(data, 4)[0] == 0x0A
+        assert hvx.vsub_b(np.array([3], dtype=np.uint8), 8)[0] == -5
+
+    def test_vconv_b_to_hf_charges_qfloat(self):
+        hvx = HVXContext("qfloat")
+        hvx.vconv_b_to_hf(np.array([-5, 3], dtype=np.int16))
+        assert hvx.trace.count("vconv_b_hf") == 1
+        assert hvx.trace.count("vconv") == 1
+
+
+class TestScatterAndMemory:
+    def test_scatter_places_values(self):
+        hvx = HVXContext()
+        dest = np.zeros(16, dtype=np.float16)
+        hvx.vscatter(dest, np.array([3, 7]), np.float16([1.5, -2.0]))
+        assert dest[3] == np.float16(1.5) and dest[7] == np.float16(-2.0)
+
+    def test_scatter_counts(self):
+        hvx = HVXContext()
+        dest = np.zeros(VGATHER_ELEMENTS * 2, dtype=np.float16)
+        offsets = np.arange(VGATHER_ELEMENTS + 1)
+        hvx.vscatter(dest, offsets, np.zeros(VGATHER_ELEMENTS + 1,
+                                             dtype=np.float16))
+        assert hvx.trace.count("vscatter") == 2
+
+    def test_scatter_shape_mismatch(self):
+        with pytest.raises(RegisterError):
+            HVXContext().vscatter(np.zeros(8, dtype=np.float16),
+                                  np.array([0, 1]), np.float16([1.0]))
+
+    def test_scatter_range_check(self):
+        with pytest.raises(RegisterError):
+            HVXContext().vscatter(np.zeros(4, dtype=np.float16),
+                                  np.array([4]), np.float16([1.0]))
+
+    def test_memory_ops_count_vectors(self):
+        hvx = HVXContext()
+        data = np.zeros(200, dtype=np.float16)  # 400 bytes -> 4 vectors
+        hvx.vmem_load(data)
+        hvx.vmem_store(data)
+        assert hvx.trace.count("vmem_ld") == 4
+        assert hvx.trace.count("vmem_st") == 4

@@ -1,0 +1,191 @@
+"""Unit tests for TCM, DMA, shared buffers and the rpcmem heap."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AddressSpaceError,
+    DMAError,
+    TCMAccessError,
+    TCMAllocationError,
+)
+from repro.npu.memory import (
+    TCM_ALIGNMENT,
+    DMAEngine,
+    RpcMemHeap,
+    SharedBuffer,
+    TCM,
+)
+
+
+class TestTCMAllocator:
+    def test_alloc_aligned(self):
+        tcm = TCM(capacity=4096)
+        region = tcm.alloc(100)
+        assert region.offset % TCM_ALIGNMENT == 0
+        assert region.size == 128  # rounded up
+
+    def test_exhaustion(self):
+        tcm = TCM(capacity=256)
+        tcm.alloc(128)
+        tcm.alloc(128)
+        with pytest.raises(TCMAllocationError):
+            tcm.alloc(1)
+
+    def test_free_reclaims(self):
+        tcm = TCM(capacity=256)
+        first = tcm.alloc(128)
+        tcm.alloc(128)
+        tcm.free(first)
+        again = tcm.alloc(128)
+        assert again.offset == first.offset
+
+    def test_first_fit_reuses_hole(self):
+        tcm = TCM(capacity=1024)
+        a = tcm.alloc(128)
+        b = tcm.alloc(128)
+        tcm.alloc(128)
+        tcm.free(b)
+        hole = tcm.alloc(128)
+        assert hole.offset == b.offset
+        del a
+
+    def test_double_free_rejected(self):
+        tcm = TCM(capacity=256)
+        region = tcm.alloc(64)
+        tcm.free(region)
+        with pytest.raises(TCMAllocationError):
+            tcm.free(region)
+
+    def test_zero_alloc_rejected(self):
+        with pytest.raises(TCMAllocationError):
+            TCM(capacity=256).alloc(0)
+
+    def test_peak_usage_tracked(self):
+        tcm = TCM(capacity=1024)
+        a = tcm.alloc(256)
+        b = tcm.alloc(256)
+        tcm.free(a)
+        tcm.free(b)
+        assert tcm.peak_usage == 512
+        assert tcm.used_bytes() == 0
+
+    def test_read_write_roundtrip(self):
+        tcm = TCM(capacity=1024)
+        region = tcm.alloc(256)
+        data = np.arange(64, dtype=np.float16)
+        tcm.write(region, data)
+        back = tcm.read(region, 128, dtype=np.float16)
+        assert np.array_equal(back, data)
+
+    def test_out_of_region_access(self):
+        tcm = TCM(capacity=1024)
+        region = tcm.alloc(128)
+        with pytest.raises(TCMAccessError):
+            tcm.write(region, np.zeros(200, dtype=np.uint8))
+        with pytest.raises(TCMAccessError):
+            tcm.read(region, 64, offset=100)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TCM(capacity=0)
+
+
+class TestDMAEngine:
+    def test_1d_transfer(self):
+        dma = DMAEngine()
+        t = dma.transfer_1d(4096)
+        assert t.nbytes == 4096 and not t.is_2d
+        assert dma.total_bytes() == 4096
+
+    def test_2d_transfer(self):
+        dma = DMAEngine()
+        t = dma.transfer_2d(rows=16, row_bytes=256)
+        assert t.nbytes == 4096 and t.is_2d
+
+    def test_direction_filter(self):
+        dma = DMAEngine()
+        dma.transfer_1d(100, "ddr_to_tcm")
+        dma.transfer_1d(50, "tcm_to_ddr")
+        assert dma.total_bytes("ddr_to_tcm") == 100
+        assert dma.total_bytes("tcm_to_ddr") == 50
+        assert dma.total_bytes() == 150
+
+    def test_invalid_direction(self):
+        with pytest.raises(DMAError):
+            DMAEngine().transfer_1d(10, "sideways")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(DMAError):
+            DMAEngine().transfer_1d(0)
+        with pytest.raises(DMAError):
+            DMAEngine().transfer_2d(0, 128)
+
+    def test_reset(self):
+        dma = DMAEngine()
+        dma.transfer_1d(100)
+        dma.reset()
+        assert dma.total_bytes() == 0
+
+
+class TestSharedBufferCoherence:
+    def test_npu_sees_stale_data_without_clean(self):
+        """The Section 6 hazard: CPU writes are invisible until cleaned."""
+        buf = SharedBuffer(64)
+        buf.cpu_write(np.full(16, 0xAB, dtype=np.uint8))
+        stale = buf.npu_read(16)
+        assert np.all(stale == 0)  # stale zeros
+
+    def test_clean_cache_publishes(self):
+        buf = SharedBuffer(64)
+        buf.cpu_write(np.full(16, 0xAB, dtype=np.uint8))
+        buf.clean_cache()
+        assert np.all(buf.npu_read(16) == 0xAB)
+        assert buf.clean_count == 1
+
+    def test_npu_write_visible_to_cpu(self):
+        """One-way coherence: the CPU observes NPU writes directly."""
+        buf = SharedBuffer(64)
+        buf.npu_write(np.full(8, 7, dtype=np.uint8), offset=8)
+        assert np.all(buf.cpu_read(8, offset=8) == 7)
+
+    def test_bounds_checks(self):
+        buf = SharedBuffer(16)
+        with pytest.raises(TCMAccessError):
+            buf.cpu_write(np.zeros(32, dtype=np.uint8))
+        with pytest.raises(TCMAccessError):
+            buf.npu_read(8, offset=12)
+        with pytest.raises(TCMAccessError):
+            buf.npu_write(np.zeros(8, dtype=np.uint8), offset=12)
+        with pytest.raises(TCMAccessError):
+            buf.cpu_read(32)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SharedBuffer(0)
+
+
+class TestRpcMemHeap:
+    def test_alloc_within_budget(self):
+        heap = RpcMemHeap(1024)
+        buf = heap.alloc(512)
+        assert heap.mapped_bytes() == 512
+        heap.free(buf)
+        assert heap.mapped_bytes() == 0
+
+    def test_va_space_exhaustion(self):
+        """Models the 8 Gen 2 failure: 3B models do not fit in 2 GiB."""
+        heap = RpcMemHeap(2 * 2**30)
+        heap.alloc(int(1.5 * 2**30), name="weights")
+        with pytest.raises(AddressSpaceError):
+            heap.alloc(2**30, name="kv-cache")
+
+    def test_free_unknown_buffer(self):
+        heap = RpcMemHeap(1024)
+        other = SharedBuffer(64)
+        with pytest.raises(AddressSpaceError):
+            heap.free(other)
+
+    def test_va_space_validation(self):
+        with pytest.raises(ValueError):
+            RpcMemHeap(0)

@@ -1,0 +1,205 @@
+"""Tests for the NPU runtime layer: thread pool, DVFS, HVX GEMM, Q8 KV.
+
+These cover the §6 operator-library components (computation thread pool,
+power management) and two further substrates: the vector-unit GEMM that
+anchors Table 2 and the INT8 KV-cache extension.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError, KernelError, NPUError
+from repro.kernels.hvx_gemm import hvx_gemm
+from repro.llm import (
+    NPUTransformer,
+    QuantizedLayerKVCache,
+    TransformerWeights,
+    mean_kl_divergence,
+    tiny_config,
+)
+from repro.llm.kv_cache import KVCache, LayerKVCache
+from repro.npu import (
+    GOVERNORS,
+    KernelJob,
+    KernelCost,
+    NPUThreadPool,
+    TimingModel,
+    V75,
+    apply_governor,
+)
+
+
+class TestThreadPool:
+    def test_parallel_jobs_overlap(self):
+        pool = NPUThreadPool(V75)
+        jobs = [KernelJob(f"j{i}", KernelCost(hvx_packets=1000))
+                for i in range(V75.hvx_contexts)]
+        result = pool.schedule(jobs)
+        serial = V75.hvx_contexts * 1000 / V75.clock_hz
+        assert result.makespan_seconds == pytest.approx(serial
+                                                        / V75.hvx_contexts)
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_dependencies_serialize(self):
+        pool = NPUThreadPool(V75)
+        jobs = [KernelJob("a", KernelCost(hvx_packets=1000)),
+                KernelJob("b", KernelCost(hvx_packets=1000),
+                          depends_on=("a",))]
+        result = pool.schedule(jobs)
+        assert result.makespan_seconds == pytest.approx(2000 / V75.clock_hz)
+
+    def test_lpt_beats_naive_on_skewed_jobs(self):
+        """One huge job plus many small ones: the scheduler fills other
+        contexts while the big one runs."""
+        pool = NPUThreadPool(V75)
+        jobs = [KernelJob("big", KernelCost(hvx_packets=10000))]
+        jobs += [KernelJob(f"s{i}", KernelCost(hvx_packets=500))
+                 for i in range(10)]
+        result = pool.schedule(jobs)
+        assert result.makespan_seconds == pytest.approx(10000 / V75.clock_hz)
+
+    def test_idealization_gap_bounded(self):
+        """For balanced job sets the even-split timing assumption holds
+        within the classic LPT bound."""
+        pool = NPUThreadPool(V75)
+        rng = np.random.default_rng(0)
+        jobs = [KernelJob(f"j{i}", KernelCost(hvx_packets=int(rng.integers(
+            100, 5000)))) for i in range(32)]
+        assert 1.0 <= pool.idealization_gap(jobs) < 4.0 / 3.0 + 0.01
+
+    def test_cycle_detected(self):
+        pool = NPUThreadPool(V75)
+        jobs = [KernelJob("a", KernelCost(hvx_packets=1), depends_on=("b",)),
+                KernelJob("b", KernelCost(hvx_packets=1), depends_on=("a",))]
+        with pytest.raises(NPUError):
+            pool.schedule(jobs)
+
+    def test_unknown_dependency(self):
+        pool = NPUThreadPool(V75)
+        with pytest.raises(NPUError):
+            pool.schedule([KernelJob("a", KernelCost(), depends_on=("x",))])
+
+    def test_duplicate_names(self):
+        pool = NPUThreadPool(V75)
+        with pytest.raises(NPUError):
+            pool.schedule([KernelJob("a", KernelCost()),
+                           KernelJob("a", KernelCost())])
+
+
+class TestPowerGovernors:
+    def test_performance_is_identity(self):
+        assert apply_governor(V75, "performance") == V75
+
+    def test_efficiency_slows_everything(self):
+        slow = apply_governor(V75, "efficiency")
+        assert slow.clock_hz < V75.clock_hz
+        assert slow.hmx_fp16_gflops < V75.hmx_fp16_gflops
+        assert slow.dma_read_gbps < V75.dma_read_gbps
+
+    def test_governor_order(self):
+        clocks = [apply_governor(V75, g).clock_hz
+                  for g in ("efficiency", "balanced", "performance")]
+        assert clocks[0] < clocks[1] < clocks[2]
+
+    def test_kernel_slows_under_governor(self):
+        cost = KernelCost(hvx_packets=10000, dma_bytes=10**6)
+        fast = TimingModel(V75).seconds(cost)
+        slow = TimingModel(apply_governor(V75, "efficiency")).seconds(cost)
+        assert slow > 1.3 * fast
+
+    def test_unknown_governor(self):
+        with pytest.raises(NPUError):
+            apply_governor(V75, "ludicrous")
+
+    def test_registry(self):
+        assert set(GOVERNORS) == {"performance", "balanced", "efficiency"}
+
+
+class TestHVXGemm:
+    def test_numerics(self, rng):
+        a = rng.normal(0, 0.3, (16, 128)).astype(np.float16)
+        b = rng.normal(0, 0.3, (128, 24)).astype(np.float16)
+        out, _ = hvx_gemm(a, b)
+        ref = a.astype(np.float32) @ b.astype(np.float32)
+        assert np.allclose(out.astype(np.float32), ref, atol=5e-3)
+
+    def test_reproduces_table2_anchor(self, rng):
+        """The 32.93 GFLOPS measurement emerges from the traced kernel."""
+        a = rng.normal(0, 0.3, (32, 1024)).astype(np.float16)
+        b = rng.normal(0, 0.3, (1024, 32)).astype(np.float16)
+        _, cost = hvx_gemm(a, b)
+        timing = TimingModel(V75)
+        seconds = timing.hvx_seconds(cost, hvx_threads=1)
+        gflops = 2.0 * 32 * 1024 * 32 / seconds / 1e9
+        assert gflops == pytest.approx(32.93, rel=0.08)
+
+    def test_hmx_dwarfs_hvx(self, rng):
+        """The architectural gap the whole paper exploits: >100x."""
+        from repro.npu.hmx import HMXUnit
+        a = rng.normal(0, 0.3, (32, 256)).astype(np.float16)
+        b = rng.normal(0, 0.3, (256, 32)).astype(np.float16)
+        _, hvx_cost = hvx_gemm(a, b)
+        hmx = HMXUnit()
+        hmx.gemm(a, b)
+        hmx_cost = KernelCost.from_trace(hmx.trace)
+        timing = TimingModel(V75)
+        assert timing.hvx_seconds(hvx_cost, hvx_threads=1) > \
+            100 * timing.hmx_seconds(hmx_cost)
+
+    def test_shape_validation(self):
+        with pytest.raises(KernelError):
+            hvx_gemm(np.zeros((2, 3)), np.zeros((4, 5)))
+
+
+class TestQuantizedKVCache:
+    def test_roundtrip_close(self, rng):
+        cache = QuantizedLayerKVCache(batch=1, capacity=8, n_kv_heads=2,
+                                      head_dim=16)
+        k = rng.normal(0, 1, (4, 2, 16)).astype(np.float16)
+        v = rng.normal(0, 1, (4, 2, 16)).astype(np.float16)
+        cache.append(0, k, v)
+        k_back, v_back = cache.view(0)
+        assert np.abs(k_back.astype(np.float32)
+                      - k.astype(np.float32)).max() < 0.05
+        assert np.abs(v_back.astype(np.float32)
+                      - v.astype(np.float32)).max() < 0.05
+
+    def test_half_the_memory(self):
+        fp16 = LayerKVCache(2, 64, 2, 32)
+        q8 = QuantizedLayerKVCache(2, 64, 2, 32)
+        fp16_bytes = fp16.keys.nbytes + fp16.values.nbytes
+        assert q8.nbytes_used() < 0.6 * fp16_bytes
+
+    def test_fork_preserves_scales(self, rng):
+        cache = QuantizedLayerKVCache(batch=3, capacity=8, n_kv_heads=1,
+                                      head_dim=8)
+        k = rng.normal(0, 1, (3, 1, 8)).astype(np.float16)
+        cache.append(0, k, k)
+        cache.fork(0, [1, 2])
+        a, _ = cache.view(0)
+        b, _ = cache.view(2)
+        assert np.array_equal(a, b)
+
+    def test_end_to_end_kl_small(self):
+        """Running the tiny model on a Q8 cache barely moves the logits."""
+        cfg = tiny_config(n_layers=2)
+        weights = TransformerWeights.generate(cfg, seed=3, embedding_std=0.1)
+        model = NPUTransformer(weights)
+        tokens = np.arange(12)
+        l16, _ = model.forward(tokens[np.newaxis, :], model.new_cache(1, 16))
+        l8, _ = model.forward(tokens[np.newaxis, :],
+                              model.new_cache(1, 16, dtype="q8"))
+        assert mean_kl_divergence(l16[0], l8[0]) < 1e-3
+
+    def test_unknown_dtype(self):
+        with pytest.raises(EngineError):
+            KVCache(1, 1, 4, 1, 4, dtype="q2")
+
+    def test_overflow_and_range_checks(self, rng):
+        cache = QuantizedLayerKVCache(batch=1, capacity=2, n_kv_heads=1,
+                                      head_dim=4)
+        k = rng.normal(size=(3, 1, 4)).astype(np.float16)
+        with pytest.raises(EngineError):
+            cache.append(0, k, k)
+        with pytest.raises(EngineError):
+            cache.append(5, k[:1], k[:1])

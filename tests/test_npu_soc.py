@@ -1,0 +1,121 @@
+"""Unit tests for devices, the CPU model and the FastRPC session."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError, NPUError
+from repro.npu.soc import DEVICES, CPUModel, FastRPCSession, get_device
+
+
+class TestDeviceRegistry:
+    def test_three_devices(self):
+        assert len(DEVICES) == 3
+
+    def test_lookup_by_key(self):
+        assert get_device("oneplus_12").npu.name == "V75"
+
+    def test_lookup_by_name(self):
+        assert get_device("OnePlus Ace3").npu.name == "V73"
+
+    def test_lookup_by_soc(self):
+        assert get_device("Snapdragon 8 Elite").npu.name == "V79"
+
+    def test_lookup_by_short_name(self):
+        assert get_device("8G3").name == "OnePlus 12"
+
+    def test_unknown_device(self):
+        with pytest.raises(NPUError):
+            get_device("pixel-9000")
+
+    def test_table3_mapping(self):
+        """Table 3: device / SoC / NPU architecture triples."""
+        expected = {
+            "OnePlus Ace3": ("Snapdragon 8 Gen 2", "V73"),
+            "OnePlus 12": ("Snapdragon 8 Gen 3", "V75"),
+            "OnePlus Ace5 Pro": ("Snapdragon 8 Elite", "V79"),
+        }
+        for device in DEVICES.values():
+            soc, arch = expected[device.name]
+            assert device.soc == soc and device.npu.name == arch
+
+    def test_rpcmem_heap_bounded_by_va_space(self):
+        device = get_device("oneplus_ace3")
+        heap = device.rpcmem_heap()
+        assert heap.va_space_bytes == 2 * 2**30
+
+
+class TestCPUModel:
+    def test_memory_bound_gemv(self):
+        cpu = CPUModel("test", max_cores=4, gflops_per_core=40,
+                       dram_read_gbps=25)
+        # tiny m: streaming 2*k*n FP16 bytes dominates
+        seconds = cpu.gemm_seconds(1, 1024, 1024)
+        assert seconds == pytest.approx(2 * 1024 * 1024 / 25e9)
+
+    def test_compute_bound_large_m(self):
+        cpu = CPUModel("test", max_cores=4, gflops_per_core=40,
+                       dram_read_gbps=25)
+        m = 4096
+        seconds = cpu.gemm_seconds(m, 1024, 1024)
+        assert seconds == pytest.approx(2.0 * m * 1024 * 1024 / (160e9))
+
+    def test_core_cap(self):
+        cpu = CPUModel("test", max_cores=4, gflops_per_core=10,
+                       dram_read_gbps=1000)
+        assert cpu.gemm_seconds(512, 512, 512, cores=8) == \
+            cpu.gemm_seconds(512, 512, 512, cores=4)
+
+    def test_weight_bytes_override(self):
+        cpu = CPUModel("test", max_cores=4, gflops_per_core=40,
+                       dram_read_gbps=25)
+        quantized = cpu.gemm_seconds(1, 1024, 1024, weight_bytes=1024)
+        fp16 = cpu.gemm_seconds(1, 1024, 1024)
+        assert quantized < fp16
+
+    def test_dim_validation(self):
+        cpu = CPUModel("test", max_cores=4, gflops_per_core=40,
+                       dram_read_gbps=25)
+        with pytest.raises(EngineError):
+            cpu.gemm_seconds(0, 10, 10)
+
+
+class TestFastRPCSession:
+    def _session(self):
+        heap = get_device("oneplus_12").rpcmem_heap()
+        session = FastRPCSession(heap)
+        session.register_op(1, lambda payload: payload.astype(np.uint8) + 1)
+        return session
+
+    def test_submit_roundtrip(self):
+        session = self._session()
+        out = session.submit(1, np.array([41], dtype=np.uint8))
+        assert out[0] == 42
+        assert session.requests_served == 1
+
+    def test_missing_cache_clean_detected(self):
+        """Skipping cache maintenance leaves the NPU reading stale state."""
+        session = self._session()
+        with pytest.raises(EngineError, match="stale"):
+            session.submit_without_clean(1, np.array([1], dtype=np.uint8))
+
+    def test_clean_after_faulty_submit_recovers(self):
+        session = self._session()
+        with pytest.raises(EngineError):
+            session.submit_without_clean(1, np.array([1], dtype=np.uint8))
+        out = session.submit(1, np.array([9], dtype=np.uint8))
+        assert out[0] == 10
+
+    def test_unknown_opcode(self):
+        session = self._session()
+        with pytest.raises(EngineError, match="no handler"):
+            session.submit(99, np.array([0], dtype=np.uint8))
+
+    def test_duplicate_registration(self):
+        session = self._session()
+        with pytest.raises(EngineError):
+            session.register_op(1, lambda p: p)
+
+    def test_oversized_request(self):
+        session = self._session()
+        with pytest.raises(EngineError, match="mailbox"):
+            session.submit(1, np.zeros(8192, dtype=np.uint8))

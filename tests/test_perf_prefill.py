@@ -1,0 +1,64 @@
+"""Tests for the prefill pipeline model (§8b study)."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.llm.config import get_model_config
+from repro.npu.soc import get_device
+from repro.perf.latency import DecodePerformanceModel
+from repro.perf.prefill import PrefillConfig, PrefillPipelineModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PrefillPipelineModel(get_model_config("qwen2.5-1.5b"),
+                                get_device("oneplus_12"))
+
+
+class TestPrefillPipeline:
+    def test_current_matches_latency_model(self, model):
+        """The explicit pipeline at its default operating point agrees
+        with the latency model's calibrated PREFILL_EFFICIENCY."""
+        simple = DecodePerformanceModel(get_model_config("qwen2.5-1.5b"),
+                                        get_device("oneplus_12"))
+        explicit = model.prefill_throughput(512)
+        calibrated = simple.prefill_throughput(512)
+        assert explicit == pytest.approx(calibrated, rel=0.25)
+
+    def test_each_optimization_helps(self, model):
+        sweep = model.sweep(512)
+        for knob in ("fused_ops", "all_ops_on_npu", "tuned_pipeline"):
+            assert sweep[knob] > sweep["current"], knob
+
+    def test_all_optimizations_compound(self, model):
+        sweep = model.sweep(512)
+        assert sweep["all"] > max(sweep["fused_ops"],
+                                  sweep["all_ops_on_npu"],
+                                  sweep["tuned_pipeline"])
+
+    def test_tcm_spill_penalizes_huge_chunks(self, model):
+        small = model.prefill_seconds(512, PrefillConfig(chunk=128))
+        huge = model.prefill_seconds(512, PrefillConfig(chunk=512))
+        assert huge > small
+
+    def test_tiny_chunks_pay_sync(self, model):
+        tiny = model.prefill_seconds(512, PrefillConfig(chunk=8))
+        normal = model.prefill_seconds(512, PrefillConfig(chunk=128))
+        assert tiny > normal
+
+    def test_longer_prompts_cost_more(self, model):
+        assert model.prefill_seconds(1024) > 1.8 * model.prefill_seconds(512)
+
+    def test_config_validation(self):
+        with pytest.raises(EngineError):
+            PrefillConfig(chunk=0)
+        with pytest.raises(EngineError):
+            PrefillConfig(fused_fraction=1.5)
+        with pytest.raises(EngineError):
+            PrefillConfig(cpu_fallback_ops=-1)
+        with pytest.raises(EngineError):
+            PrefillConfig(pipeline_efficiency=0.0)
+
+    def test_prompt_validation(self, model):
+        with pytest.raises(EngineError):
+            model.prefill_seconds(0)

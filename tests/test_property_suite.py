@@ -1,0 +1,161 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that must hold across the whole stack for arbitrary inputs:
+quantization error bounds, layout bijectivity, cost-algebra laws,
+analytic/functional cost agreement, and softmax normalization.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.gemm import MixedPrecisionGemm
+from repro.npu.hmx import matrix_from_hmx_layout, matrix_to_hmx_layout
+from repro.npu.timing import KernelCost
+from repro.perf.latency import gemm_cost
+from repro.quant.codebooks import CODEBOOKS, get_codebook
+from repro.quant.codebooks import dequantize_with_codebook, quantize_with_codebook
+from repro.quant.schemes import (
+    dequantize_q4_0,
+    dequantize_q8_0,
+    quantize_q4_0,
+    quantize_q8_0,
+)
+from repro.quant.tile_quant import dequantize_weight, quantize_tile_group
+
+
+@st.composite
+def gaussian_matrix(draw, max_dim=6):
+    rows = 32 * draw(st.integers(1, max_dim))
+    cols = 32 * draw(st.integers(1, max_dim))
+    seed = draw(st.integers(0, 2**31 - 1))
+    scale = draw(st.floats(1e-3, 10.0))
+    rng = np.random.default_rng(seed)
+    return (rng.normal(0, scale, (rows, cols))).astype(np.float32)
+
+
+class TestQuantizationProperties:
+    @given(gaussian_matrix())
+    @settings(max_examples=25, deadline=None)
+    def test_tile_quant_error_bounded(self, w):
+        """Every element's error is at most one group scale."""
+        q = quantize_tile_group(w)
+        back = dequantize_weight(q).astype(np.float32)
+        err = np.abs(w - back)
+        # bound per element by the global worst-case scale
+        worst_scale = float(q.groups.scales.astype(np.float32).max())
+        assert err.max() <= worst_scale * 1.01 + 1e-6
+
+    @given(st.integers(0, 2**31 - 1), st.floats(1e-3, 100.0))
+    @settings(max_examples=40)
+    def test_q8_always_beats_q4(self, seed, scale):
+        values = np.random.default_rng(seed).normal(0, scale, 256)
+        err4 = np.abs(dequantize_q4_0(quantize_q4_0(values))
+                      .astype(np.float64) - values).mean()
+        err8 = np.abs(dequantize_q8_0(quantize_q8_0(values))
+                      .astype(np.float64) - values).mean()
+        assert err8 <= err4 + 1e-9
+
+    @given(st.sampled_from(["nf4", "fp4"]), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40)
+    def test_codebook_idempotence(self, name, seed):
+        """Re-quantizing already-quantized values is exact.
+
+        Holds only for codebooks with symmetric endpoints (NF4, FP4):
+        asymmetric grids (Q4_0, IQ4_NL) clip the positive extreme, which
+        perturbs the next round's scale.
+        """
+        cb = get_codebook(name)
+        values = np.random.default_rng(seed).normal(0, 1, 64)
+        once = dequantize_with_codebook(
+            quantize_with_codebook(values, cb), cb).astype(np.float64)
+        twice = dequantize_with_codebook(
+            quantize_with_codebook(once, cb), cb).astype(np.float64)
+        assert np.allclose(once, twice, rtol=2e-3, atol=2e-4)
+
+
+class TestLayoutProperties:
+    @given(gaussian_matrix(max_dim=4))
+    @settings(max_examples=25, deadline=None)
+    def test_hmx_layout_bijective(self, w):
+        layout, padded = matrix_to_hmx_layout(w)
+        back = matrix_from_hmx_layout(layout, padded, w.shape)
+        assert np.array_equal(back, w)
+
+    @given(gaussian_matrix(max_dim=3))
+    @settings(max_examples=15, deadline=None)
+    def test_layout_preserves_multiset(self, w):
+        layout, _ = matrix_to_hmx_layout(w)
+        assert np.array_equal(np.sort(layout), np.sort(w.ravel()))
+
+
+class TestCostAlgebra:
+    @st.composite
+    @staticmethod
+    def cost(draw):
+        return KernelCost(
+            hmx_tile_macs=draw(st.integers(0, 10**6)),
+            hvx_packets=draw(st.integers(0, 10**6)),
+            vgather_instrs=draw(st.integers(0, 10**5)),
+            vscatter_instrs=draw(st.integers(0, 10**5)),
+            hvx_ddr_bytes=draw(st.integers(0, 10**8)),
+            dma_bytes=draw(st.integers(0, 10**9)),
+        )
+
+    @given(cost(), cost())
+    @settings(max_examples=40)
+    def test_merge_is_commutative(self, a, b):
+        left = KernelCost().merge(a).merge(b)
+        right = KernelCost().merge(b).merge(a)
+        assert left == right
+
+    @given(cost(), st.integers(0, 100))
+    @settings(max_examples=40)
+    def test_scaling_is_linear(self, c, k):
+        scaled = c.scaled(k)
+        assert scaled.hvx_packets == k * c.hvx_packets
+        assert scaled.dma_bytes == k * c.dma_bytes
+
+    @given(cost())
+    @settings(max_examples=40)
+    def test_timing_monotone_in_cost(self, c):
+        from repro.npu.timing import TimingModel, V75
+        timing = TimingModel(V75)
+        bigger = KernelCost().merge(c)
+        bigger.hvx_packets += 1000
+        bigger.dma_bytes += 10**6
+        assert timing.seconds(bigger) >= timing.seconds(c)
+
+
+class TestAnalyticFunctionalAgreement:
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4),
+           st.sampled_from(["ours", "hmx_layout", "baseline", "no_dequant"]))
+    @settings(max_examples=12, deadline=None)
+    def test_gemm_cost_matches_kernel(self, mt, kt, nt, strategy):
+        """The analytic cost mirror is exact for arbitrary tile shapes."""
+        m, k, n = mt * 2, kt * 32, nt * 32
+        rng = np.random.default_rng(m * 1000 + k + n)
+        w = rng.normal(0, 0.05, (k, n)).astype(np.float32)
+        gemm = MixedPrecisionGemm(strategy)
+        prepared = gemm.prepare_weight(w)
+        x = rng.normal(0, 1, (m, k)).astype(np.float16)
+        _, functional = gemm(x, prepared)
+        analytic = gemm_cost(m, k, n, strategy=strategy)
+        assert functional == analytic
+
+
+class TestSoftmaxProperties:
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(0, 2**31 - 1),
+           st.sampled_from(["lut", "poly16", "poly32"]))
+    @settings(max_examples=20, deadline=None)
+    def test_softmax_is_distribution(self, rows, col_blocks, seed, method):
+        from repro.kernels.softmax import OnChipSoftmax
+        from repro.npu.hvx import HVXContext
+        from repro.npu.memory import TCM
+        scores = np.random.default_rng(seed).normal(
+            0, 3, (rows, 64 * col_blocks)).astype(np.float16)
+        softmax = OnChipSoftmax(HVXContext(), method, tcm=TCM())
+        out = softmax(scores).astype(np.float64)
+        assert np.all(out >= 0)
+        assert np.allclose(out.sum(axis=1), 1.0, atol=5e-3)

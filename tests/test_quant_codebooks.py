@@ -1,0 +1,102 @@
+"""Unit tests for the 4-bit codebooks (§5.2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodebookError
+from repro.quant.codebooks import (
+    CODEBOOKS,
+    FP4_CODEBOOK,
+    IQ4_NL_CODEBOOK,
+    NF4_CODEBOOK,
+    Q4_0_CODEBOOK,
+    Codebook,
+    dequantize_with_codebook,
+    get_codebook,
+    quantize_with_codebook,
+)
+from repro.quant.schemes import quantization_mse
+
+
+class TestCodebookDefinitions:
+    def test_all_registered(self):
+        assert set(CODEBOOKS) == {"q4_0", "nf4", "fp4", "iq4_nl"}
+
+    def test_q4_0_is_integer_grid(self):
+        assert Q4_0_CODEBOOK.values.astype(np.float32).tolist() == \
+            [float(i - 8) for i in range(16)]
+
+    def test_nf4_spans_unit_interval(self):
+        values = NF4_CODEBOOK.values.astype(np.float32)
+        assert values.min() == -1.0 and values.max() == 1.0
+        assert np.all(np.diff(values) > 0)  # strictly increasing
+
+    def test_fp4_symmetry(self):
+        values = FP4_CODEBOOK.values.astype(np.float32)
+        assert np.allclose(values[8:], -values[:8])
+
+    def test_iq4_nl_nonuniform(self):
+        values = IQ4_NL_CODEBOOK.values.astype(np.float32)
+        steps = np.diff(values)
+        assert np.all(steps > 0)
+        assert steps.max() / steps.min() > 1.2  # genuinely non-linear
+
+    def test_get_codebook(self):
+        assert get_codebook("nf4") is NF4_CODEBOOK
+        with pytest.raises(CodebookError):
+            get_codebook("int3")
+
+    def test_entry_count_enforced(self):
+        with pytest.raises(CodebookError):
+            Codebook("bad", np.zeros(8))
+
+
+class TestCodebookQuantization:
+    def test_roundtrip_error_small(self, rng):
+        values = rng.normal(0, 1, 512).astype(np.float32)
+        for name in CODEBOOKS:
+            cb = get_codebook(name)
+            q = quantize_with_codebook(values, cb)
+            back = dequantize_with_codebook(q, cb).astype(np.float32)
+            rel = quantization_mse(values, back) / values.var()
+            assert rel < 0.05, f"{name} rel MSE {rel}"
+
+    def test_nf4_beats_q4_on_gaussian(self, rng):
+        """NF4's quantile grid matches Gaussian data better than uniform."""
+        values = rng.normal(0, 1, 8192).astype(np.float32)
+        q_uniform = quantize_with_codebook(values, Q4_0_CODEBOOK)
+        q_nf4 = quantize_with_codebook(values, NF4_CODEBOOK)
+        mse_uniform = quantization_mse(
+            values, dequantize_with_codebook(q_uniform, Q4_0_CODEBOOK))
+        mse_nf4 = quantization_mse(
+            values, dequantize_with_codebook(q_nf4, NF4_CODEBOOK))
+        assert mse_nf4 < mse_uniform
+
+    def test_nearest_entry_property(self, rng):
+        """Encoding picks the nearest codebook entry for every element."""
+        values = rng.normal(0, 1, 64).astype(np.float32)
+        cb = NF4_CODEBOOK
+        q = quantize_with_codebook(values, cb, group_size=32)
+        table = cb.values.astype(np.float32)
+        scales = q.scales.astype(np.float32)
+        for g in range(q.n_groups):
+            normalized = values.reshape(-1, 32)[g] / max(scales[g], 1e-12)
+            for i, code in enumerate(q.codes[g]):
+                distances = np.abs(normalized[i] - table)
+                assert distances[code] == pytest.approx(distances.min())
+
+    def test_dequantize_wrong_bits(self, rng):
+        from repro.quant.schemes import quantize_q8_0
+        q8 = quantize_q8_0(rng.normal(size=32))
+        with pytest.raises(CodebookError):
+            dequantize_with_codebook(q8, Q4_0_CODEBOOK)
+
+    @given(st.sampled_from(["q4_0", "nf4", "fp4", "iq4_nl"]),
+           st.integers(0, 1000))
+    @settings(max_examples=30)
+    def test_codes_always_4bit(self, name, seed):
+        values = np.random.default_rng(seed).normal(0, 2, 96)
+        q = quantize_with_codebook(values, get_codebook(name))
+        assert q.codes.max() <= 15 and q.codes.min() >= 0

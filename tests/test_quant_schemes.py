@@ -1,0 +1,163 @@
+"""Unit tests for the base quantization schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GroupSizeError, QuantizationError
+from repro.quant.schemes import (
+    Q4_GROUP_SIZE,
+    Q4_0_BPW,
+    Q8_0_BPW,
+    QuantizedGroups,
+    bits_per_weight,
+    dequantize_q4_0,
+    dequantize_q8_0,
+    quantization_mse,
+    quantize_per_channel,
+    quantize_per_tensor,
+    quantize_q4_0,
+    quantize_q8_0,
+)
+
+
+class TestQ4_0:
+    def test_roundtrip_error_bounded_by_scale(self, rng):
+        values = rng.normal(0, 1, 256).astype(np.float32)
+        q = quantize_q4_0(values)
+        back = dequantize_q4_0(q).astype(np.float32)
+        scales = np.repeat(q.scales.astype(np.float32), Q4_GROUP_SIZE)
+        # rounding error is scale/2; the positive extreme clips to code 15
+        # (value 7*scale vs absmax 8*scale), allowing up to one full scale
+        assert np.all(np.abs(values - back) <= scales * 1.01 + 1e-6)
+
+    def test_codes_in_range(self, rng):
+        q = quantize_q4_0(rng.normal(0, 5, 320))
+        assert q.codes.min() >= 0 and q.codes.max() <= 15
+
+    def test_zeros_quantize_to_zero(self):
+        q = quantize_q4_0(np.zeros(32))
+        assert np.all(dequantize_q4_0(q) == 0)
+
+    def test_absmax_preserved(self):
+        values = np.zeros(32)
+        values[7] = -4.0  # the absmax element maps to code 0 exactly
+        q = quantize_q4_0(values)
+        back = dequantize_q4_0(q)
+        assert back[7] == np.float16(-4.0)
+
+    def test_bpw(self, rng):
+        q = quantize_q4_0(rng.normal(size=64))
+        assert bits_per_weight(q) == pytest.approx(Q4_0_BPW) == 4.5
+
+    def test_group_size_validation(self):
+        with pytest.raises(GroupSizeError):
+            quantize_q4_0(np.zeros(33))
+        with pytest.raises(GroupSizeError):
+            quantize_q4_0(np.zeros(0))
+        with pytest.raises(GroupSizeError):
+            quantize_q4_0(np.zeros(32), group_size=0)
+
+    def test_dequantize_wrong_bits(self, rng):
+        q8 = quantize_q8_0(rng.normal(size=32))
+        with pytest.raises(QuantizationError):
+            dequantize_q4_0(q8)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40)
+    def test_relative_error_property(self, seed):
+        """Group RTN error stays below absmax/15 per element."""
+        values = np.random.default_rng(seed).normal(0, 1, 128)
+        q = quantize_q4_0(values)
+        back = dequantize_q4_0(q).astype(np.float64)
+        groups = values.reshape(-1, 32)
+        absmax = np.abs(groups).max(axis=1)
+        err = np.abs(groups - back.reshape(-1, 32))
+        # up to one full scale at the clipped positive extreme
+        assert np.all(err.max(axis=1) <= absmax / 8 * 1.01 + 1e-6)
+
+
+class TestQ8_0:
+    def test_roundtrip_much_tighter_than_q4(self, rng):
+        values = rng.normal(0, 1, 1024).astype(np.float32)
+        q4 = quantize_q4_0(values)
+        q8 = quantize_q8_0(values)
+        err4 = quantization_mse(values, dequantize_q4_0(q4))
+        err8 = quantization_mse(values, dequantize_q8_0(q8))
+        assert err8 < err4 / 50
+
+    def test_bpw(self, rng):
+        q = quantize_q8_0(rng.normal(size=64))
+        assert bits_per_weight(q) == pytest.approx(Q8_0_BPW) == 8.5
+
+    def test_codes_in_range(self, rng):
+        q = quantize_q8_0(rng.normal(0, 3, 320))
+        assert q.codes.min() >= 1 and q.codes.max() <= 255
+
+    def test_dequantize_wrong_bits(self, rng):
+        q4 = quantize_q4_0(rng.normal(size=32))
+        with pytest.raises(QuantizationError):
+            dequantize_q8_0(q4)
+
+
+class TestCoarseSchemes:
+    def test_per_channel_shape(self, rng):
+        w = rng.normal(size=(64, 32)).astype(np.float32)
+        dq, scales = quantize_per_channel(w)
+        assert dq.shape == w.shape
+        assert scales.shape == (32,)
+
+    def test_per_channel_worse_than_group_with_outliers(self, rng):
+        """The Table 1 mechanism: an outlier poisons its whole channel."""
+        w = rng.normal(0, 1, (1024, 64)).astype(np.float32)
+        idx = rng.choice(w.size, 32, replace=False)
+        w.ravel()[idx] *= 10
+        dq_pc, _ = quantize_per_channel(w)
+        q4 = quantize_q4_0(w.T.ravel())
+        dq_group = dequantize_q4_0(q4).reshape(w.T.shape).T
+        assert quantization_mse(w, dq_pc) > 3 * quantization_mse(w, dq_group)
+
+    def test_per_channel_bits_validation(self, rng):
+        with pytest.raises(QuantizationError):
+            quantize_per_channel(rng.normal(size=(8, 8)), bits=3)
+
+    def test_per_channel_requires_matrix(self):
+        with pytest.raises(QuantizationError):
+            quantize_per_channel(np.zeros(10))
+
+    def test_per_tensor(self, rng):
+        w = rng.normal(size=(32, 32)).astype(np.float32)
+        dq, scale = quantize_per_tensor(w)
+        assert dq.shape == w.shape and scale > 0
+
+    def test_per_tensor_worse_than_per_channel(self, rng):
+        # heterogeneous channel magnitudes
+        w = rng.normal(size=(64, 32)) * np.logspace(-1, 1, 32)[None, :]
+        dq_t, _ = quantize_per_tensor(w.astype(np.float32))
+        dq_c, _ = quantize_per_channel(w.astype(np.float32))
+        assert quantization_mse(w, dq_t) > quantization_mse(w, dq_c)
+
+    def test_per_tensor_bits_validation(self):
+        with pytest.raises(QuantizationError):
+            quantize_per_tensor(np.zeros((4, 4)), bits=5)
+
+
+class TestMetrics:
+    def test_mse_zero_for_identical(self, rng):
+        x = rng.normal(size=100)
+        assert quantization_mse(x, x) == 0.0
+
+    def test_mse_size_mismatch(self):
+        with pytest.raises(QuantizationError):
+            quantization_mse(np.zeros(4), np.zeros(5))
+
+    def test_quantized_groups_validation(self):
+        with pytest.raises(QuantizationError):
+            QuantizedGroups(codes=np.zeros((2, 16), dtype=np.uint8),
+                            scales=np.zeros(2, dtype=np.float16),
+                            bits=4, group_size=32)
+        with pytest.raises(QuantizationError):
+            QuantizedGroups(codes=np.zeros((2, 32), dtype=np.uint8),
+                            scales=np.zeros(3, dtype=np.float16),
+                            bits=4, group_size=32)

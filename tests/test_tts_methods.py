@@ -1,0 +1,221 @@
+"""Unit tests for Best-of-N, Beam Search, Self-Consistency and sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScalingError
+from repro.tts.accuracy_model import (
+    accuracy_under_quantization,
+    calibrate_kl_scale,
+)
+from repro.tts.beam_search import beam_search_single, evaluate_beam_search
+from repro.tts.best_of_n import best_of_n_single, evaluate_best_of_n
+from repro.tts.reward import RewardModel, reward_auc
+from repro.tts.scaling import SCALING_METHODS, budget_sweep
+from repro.tts.self_consistency import evaluate_self_consistency, majority_vote
+from repro.tts.tasks import TaskDataset, get_model_profile, sample_solutions
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return TaskDataset.generate("math500", 250, seed=0)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return get_model_profile("qwen2.5-1.5b")
+
+
+class TestRewardModel:
+    def test_outcome_separates_correct(self, dataset):
+        reward = RewardModel(sigma=0.3, seed=0)
+        rng = np.random.default_rng(0)
+        problem = dataset.problems[0]
+        correct = sample_solutions(problem, 1.0, 200, rng)
+        wrong = sample_solutions(problem, 0.0, 200, rng)
+        assert reward.outcome_scores(correct).mean() > \
+            reward.outcome_scores(wrong).mean() + 0.5
+
+    def test_zero_noise_is_oracle(self, dataset):
+        reward = RewardModel(sigma=0.0, seed=0)
+        rng = np.random.default_rng(0)
+        problem = dataset.problems[0]
+        sols = sample_solutions(problem, 0.5, 50, rng)
+        for sol in sols:
+            assert reward.outcome_score(sol) == (1.0 if sol.correct else 0.0)
+
+    def test_auc_decreases_with_noise(self):
+        assert reward_auc(0.2) > reward_auc(0.8) > reward_auc(2.0) > 0.5
+
+    def test_prefix_score_tracks_errors(self, dataset):
+        reward = RewardModel(sigma=0.0, seed=0)
+        rng = np.random.default_rng(3)
+        problem = dataset.problems[0]
+        wrong = next(s for s in sample_solutions(problem, 0.0, 50, rng)
+                     if s.first_error_step == 0)
+        # all steps wrong from the start -> prefix mean is 0
+        assert reward.prefix_score(wrong, problem.n_steps) == 0.0
+
+    def test_step_score_bounds(self, dataset):
+        reward = RewardModel(seed=0)
+        rng = np.random.default_rng(0)
+        sol = sample_solutions(dataset.problems[0], 1.0, 1, rng)[0]
+        with pytest.raises(ScalingError):
+            reward.step_score(sol, 0)
+        with pytest.raises(ScalingError):
+            reward.step_score(sol, sol.n_steps + 1)
+
+    def test_sigma_validation(self):
+        with pytest.raises(ScalingError):
+            RewardModel(sigma=-1)
+
+
+class TestBestOfN:
+    def test_budget_one_matches_base(self, dataset, profile):
+        result = evaluate_best_of_n(dataset, profile, budget=1, seed=0)
+        assert result.accuracy == pytest.approx(
+            profile.base_accuracy["math500"], abs=0.07)
+
+    def test_accuracy_increases_with_budget(self, dataset, profile):
+        small = evaluate_best_of_n(dataset, profile, budget=1, seed=0)
+        large = evaluate_best_of_n(dataset, profile, budget=16, seed=0)
+        assert large.accuracy > small.accuracy + 0.1
+
+    def test_bounded_by_oracle(self, dataset, profile):
+        result = evaluate_best_of_n(dataset, profile, budget=8, seed=0)
+        assert result.accuracy <= result.oracle_accuracy
+
+    def test_perfect_verifier_attains_oracle(self, dataset, profile):
+        reward = RewardModel(sigma=0.0, seed=0)
+        result = evaluate_best_of_n(dataset, profile, budget=8, reward=reward,
+                                    seed=0)
+        assert result.accuracy == pytest.approx(result.oracle_accuracy)
+
+    def test_noisy_verifier_below_oracle(self, dataset, profile):
+        reward = RewardModel(sigma=2.0, seed=0)
+        result = evaluate_best_of_n(dataset, profile, budget=16, reward=reward,
+                                    seed=0)
+        assert result.accuracy < result.oracle_accuracy
+
+    def test_tokens_scale_with_budget(self, dataset, profile):
+        small = evaluate_best_of_n(dataset, profile, budget=2, seed=0)
+        large = evaluate_best_of_n(dataset, profile, budget=8, seed=0)
+        assert large.mean_tokens_per_problem > \
+            3 * small.mean_tokens_per_problem
+
+    def test_selection_requires_solutions(self):
+        with pytest.raises(ScalingError):
+            best_of_n_single([], RewardModel())
+
+    def test_budget_validation(self, dataset, profile):
+        with pytest.raises(ScalingError):
+            evaluate_best_of_n(dataset, profile, budget=0)
+
+
+class TestSelfConsistency:
+    def test_majority_vote(self, dataset):
+        rng = np.random.default_rng(0)
+        problem = dataset.problems[0]
+        sols = sample_solutions(problem, 1.0, 5, rng)
+        assert majority_vote(sols) == problem.answer
+
+    def test_empty_vote_rejected(self):
+        with pytest.raises(ScalingError):
+            majority_vote([])
+
+    def test_improves_with_budget_when_model_decent(self, dataset):
+        strong = get_model_profile("qwen2.5-7b")
+        small = evaluate_self_consistency(dataset, strong, budget=1, seed=0)
+        large = evaluate_self_consistency(dataset, strong, budget=16, seed=0)
+        assert large.accuracy > small.accuracy
+
+    def test_below_best_of_n(self, dataset, profile):
+        """Verifier-free voting saturates below verifier selection."""
+        sc = evaluate_self_consistency(dataset, profile, budget=16, seed=0)
+        bon = evaluate_best_of_n(dataset, profile, budget=16, seed=0)
+        assert sc.accuracy < bon.accuracy
+
+
+class TestBeamSearch:
+    def test_improves_over_single_sample(self, dataset, profile):
+        single = evaluate_best_of_n(dataset, profile, budget=1, seed=0)
+        beam = evaluate_beam_search(dataset, profile, budget=8, seed=0)
+        assert beam.accuracy > single.accuracy + 0.1
+
+    def test_default_beam_width(self, dataset, profile):
+        result = evaluate_beam_search(dataset, profile, budget=16, seed=0)
+        assert result.beam_width == 4
+
+    def test_geometry_validation(self, dataset):
+        rng = np.random.default_rng(0)
+        problem = dataset.problems[0]
+        with pytest.raises(ScalingError):
+            beam_search_single(problem, 0.5, budget=4, beam_width=8,
+                               reward=RewardModel(), rng=rng)
+
+    def test_single_chain_matches_solve_probability(self, dataset):
+        """Budget 1, width 1: beam search degenerates to one rollout."""
+        rng = np.random.default_rng(5)
+        reward = RewardModel(seed=6)
+        p = 0.4
+        hits = sum(
+            beam_search_single(dataset.problems[0], p, 1, 1, reward, rng)[0]
+            for _ in range(1500))
+        assert hits / 1500 == pytest.approx(p, abs=0.05)
+
+    def test_tokens_accounted(self, dataset, profile):
+        result = evaluate_beam_search(dataset, profile, budget=8, seed=0)
+        assert result.mean_tokens_per_problem > 0
+
+
+class TestBudgetSweep:
+    def test_methods_registered(self):
+        assert set(SCALING_METHODS) == {"best_of_n", "beam_search",
+                                        "self_consistency", "weighted_sc",
+                                        "mcts"}
+
+    def test_curve_structure(self, dataset, profile):
+        curve = budget_sweep("best_of_n", dataset, profile,
+                             budgets=(1, 4), seed=0)
+        assert curve.budgets == [1, 4]
+        assert len(curve.accuracies) == 2
+        assert curve.base_accuracy == curve.accuracies[0]
+
+    def test_unknown_method(self, dataset, profile):
+        with pytest.raises(ScalingError):
+            budget_sweep("monte-carlo", dataset, profile)
+
+    def test_invalid_budgets(self, dataset, profile):
+        with pytest.raises(ScalingError):
+            budget_sweep("best_of_n", dataset, profile, budgets=())
+
+    def test_paper_pareto_claim(self, dataset):
+        """§7.2.1: Qwen 1.5B + Best-of-N exceeds the 3B base accuracy."""
+        small = get_model_profile("qwen2.5-1.5b")
+        large = get_model_profile("qwen2.5-3b")
+        curve = budget_sweep("best_of_n", dataset, small,
+                             budgets=(1, 8, 16), seed=0)
+        assert max(curve.accuracies) > large.base_accuracy["math500"]
+
+
+class TestAccuracyModel:
+    def test_no_damage_at_zero_kl(self):
+        assert accuracy_under_quantization(0.4, 0.0) == pytest.approx(0.4)
+
+    def test_monotone_decreasing(self):
+        values = [accuracy_under_quantization(0.4, kl)
+                  for kl in (0.0, 0.1, 0.5, 2.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_calibration_roundtrip(self):
+        scale = calibrate_kl_scale(0.159, 0.021, measured_kl=0.9)
+        assert accuracy_under_quantization(0.159, 0.9, scale) == \
+            pytest.approx(0.021)
+
+    def test_validation(self):
+        with pytest.raises(ScalingError):
+            accuracy_under_quantization(1.5, 0.1)
+        with pytest.raises(ScalingError):
+            accuracy_under_quantization(0.5, -0.1)
+        with pytest.raises(ScalingError):
+            calibrate_kl_scale(0.1, 0.2, 0.5)

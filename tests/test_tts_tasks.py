@@ -1,0 +1,174 @@
+"""Unit tests for the synthetic task environment and model profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScalingError
+from repro.tts.tasks import (
+    DATASET_PROFILES,
+    MODEL_PROFILES,
+    TaskDataset,
+    analytic_pass_at_n,
+    get_model_profile,
+    sample_solutions,
+)
+
+
+class TestDatasets:
+    def test_generation_deterministic(self):
+        a = TaskDataset.generate("math500", 100, seed=3)
+        b = TaskDataset.generate("math500", 100, seed=3)
+        assert [p.difficulty for p in a.problems] == \
+            [p.difficulty for p in b.problems]
+
+    def test_math500_harder_than_gsm8k(self):
+        math = TaskDataset.generate("math500", 2000, seed=0)
+        gsm = TaskDataset.generate("gsm8k", 2000, seed=0)
+        mean_math = np.mean([p.difficulty for p in math.problems])
+        mean_gsm = np.mean([p.difficulty for p in gsm.problems])
+        assert mean_math > mean_gsm
+
+    def test_difficulties_in_unit_interval(self):
+        ds = TaskDataset.generate("gsm8k", 500, seed=1)
+        assert all(0 <= p.difficulty <= 1 for p in ds.problems)
+
+    def test_step_counts_in_profile_range(self):
+        ds = TaskDataset.generate("math500", 300, seed=2)
+        profile = DATASET_PROFILES["math500"]
+        assert all(profile.min_steps <= p.n_steps <= profile.max_steps
+                   for p in ds.problems)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ScalingError):
+            TaskDataset.generate("humaneval", 10)
+
+    def test_positive_count(self):
+        with pytest.raises(ScalingError):
+            TaskDataset.generate("math500", 0)
+
+
+class TestModelProfiles:
+    def test_all_evaluated_models(self):
+        assert set(MODEL_PROFILES) == {
+            "qwen2.5-1.5b", "qwen2.5-3b", "qwen2.5-7b",
+            "llama3.2-1b", "llama3.2-3b"}
+
+    @pytest.mark.parametrize("model", list(MODEL_PROFILES))
+    @pytest.mark.parametrize("dataset", ["math500", "gsm8k"])
+    def test_calibration_hits_base_accuracy(self, model, dataset):
+        """Mean solve probability equals the published base accuracy."""
+        ds = TaskDataset.generate(dataset, 500, seed=0)
+        profile = get_model_profile(model)
+        p = profile.solve_probabilities(ds)
+        assert float(p.mean()) == pytest.approx(
+            profile.base_accuracy[dataset], abs=0.005)
+
+    def test_larger_models_stronger(self):
+        ds = TaskDataset.generate("math500", 500, seed=0)
+        caps = [get_model_profile(m).capability(ds)
+                for m in ("qwen2.5-1.5b", "qwen2.5-3b", "qwen2.5-7b")]
+        assert caps[0] < caps[1] < caps[2]
+
+    def test_harder_problems_less_solvable(self):
+        ds = TaskDataset.generate("math500", 500, seed=0)
+        profile = get_model_profile("qwen2.5-3b")
+        p = profile.solve_probabilities(ds)
+        difficulty = np.array([q.difficulty for q in ds.problems])
+        order = np.argsort(difficulty)
+        assert p[order[0]] > p[order[-1]]
+
+    def test_unknown_model(self):
+        with pytest.raises(ScalingError):
+            get_model_profile("mistral-7b")
+
+
+class TestSampledSolutions:
+    def _problem(self):
+        ds = TaskDataset.generate("math500", 1, seed=0)
+        return ds.problems[0]
+
+    def test_correct_solutions_have_correct_answer(self):
+        problem = self._problem()
+        rng = np.random.default_rng(0)
+        for sol in sample_solutions(problem, 1.0, 20, rng):
+            assert sol.correct and sol.answer == problem.answer
+            assert sol.first_error_step == problem.n_steps
+
+    def test_incorrect_solutions_have_wrong_answer(self):
+        problem = self._problem()
+        rng = np.random.default_rng(0)
+        for sol in sample_solutions(problem, 0.0, 20, rng):
+            assert not sol.correct and sol.answer != problem.answer
+            assert sol.first_error_step < problem.n_steps
+
+    def test_prefix_correct_semantics(self):
+        problem = self._problem()
+        rng = np.random.default_rng(0)
+        sol = sample_solutions(problem, 0.0, 1, rng)[0]
+        error_at = sol.first_error_step
+        if error_at >= 1:
+            assert sol.prefix_correct(error_at)
+        assert not sol.prefix_correct(error_at + 1)
+
+    def test_sample_rate_matches_probability(self):
+        problem = self._problem()
+        rng = np.random.default_rng(7)
+        sols = sample_solutions(problem, 0.3, 4000, rng)
+        rate = np.mean([s.correct for s in sols])
+        assert rate == pytest.approx(0.3, abs=0.03)
+
+    def test_wrong_answers_cluster(self):
+        """Mistakes concentrate on common modes (the majority-vote limiter)."""
+        problem = self._problem()
+        rng = np.random.default_rng(1)
+        answers = [s.answer for s in sample_solutions(problem, 0.0, 3000, rng)]
+        counts = np.bincount(answers)
+        # mode 1 is the most common wrong answer
+        assert counts[1] == counts.max()
+
+    def test_parameter_validation(self):
+        problem = self._problem()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ScalingError):
+            sample_solutions(problem, 1.5, 3, rng)
+        with pytest.raises(ScalingError):
+            sample_solutions(problem, 0.5, 0, rng)
+
+
+class TestPassAtN:
+    def test_budget_one_is_base_accuracy(self):
+        p = [0.2, 0.8, 0.5]
+        assert analytic_pass_at_n(p, 1) == pytest.approx(0.5)
+
+    def test_monotone_in_budget(self):
+        p = np.random.default_rng(0).uniform(0, 1, 100)
+        values = [analytic_pass_at_n(p, n) for n in (1, 2, 4, 8, 16)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ScalingError):
+            analytic_pass_at_n([0.5], 0)
+
+    @given(st.integers(1, 64), st.integers(0, 100))
+    @settings(max_examples=30)
+    def test_bounded(self, n, seed):
+        p = np.random.default_rng(seed).uniform(0, 1, 50)
+        value = analytic_pass_at_n(p, n)
+        assert float(p.mean()) - 1e-9 <= value <= 1.0
+
+    def test_monte_carlo_matches_analytic(self):
+        """The simulated sampler agrees with the closed form."""
+        ds = TaskDataset.generate("math500", 300, seed=0)
+        profile = get_model_profile("qwen2.5-1.5b")
+        probs = profile.solve_probabilities(ds)
+        rng = np.random.default_rng(42)
+        n = 8
+        hits = 0
+        for problem, p in zip(ds.problems, probs):
+            sols = sample_solutions(problem, float(p), n, rng)
+            hits += any(s.correct for s in sols)
+        simulated = hits / len(ds.problems)
+        assert simulated == pytest.approx(analytic_pass_at_n(probs, n),
+                                          abs=0.06)
