@@ -13,6 +13,7 @@ Subpackages:
 * :mod:`repro.tts` — Best-of-N / Beam Search / Self-Consistency with
   ORM/PRM scorers over a calibrated synthetic task environment.
 * :mod:`repro.perf` — latency, power, memory and baseline-system models.
+* :mod:`repro.obs` — span tracing, metrics, Perfetto trace export.
 * :mod:`repro.harness` — per-table/figure experiment regeneration.
 
 Quickstart::
@@ -21,7 +22,7 @@ Quickstart::
     print(run_experiment("fig15").render())
 """
 
-from . import errors, kernels, llm, npu, perf, quant, tts
+from . import errors, kernels, llm, npu, obs, perf, quant, tts
 from . import harness
 
 __version__ = "1.0.0"
@@ -32,6 +33,7 @@ __all__ = [
     "kernels",
     "llm",
     "npu",
+    "obs",
     "perf",
     "quant",
     "tts",

@@ -6,7 +6,8 @@ Commands:
 * ``run <id> [...]`` — regenerate one or more artifacts and print them;
 * ``devices`` — the Table 3 device registry with modelled parameters;
 * ``plan <model>`` — deployment feasibility/throughput across devices;
-* ``sweep <model> <dataset>`` — test-time-scaling budget sweep.
+* ``sweep <model> <dataset>`` — test-time-scaling budget sweep;
+* ``profile`` — trace a workload, export Perfetto JSON + text report.
 """
 
 from __future__ import annotations
@@ -46,6 +47,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--budgets", type=int, nargs="+",
                        default=[1, 2, 4, 8, 16])
     sweep.add_argument("--problems", type=int, default=400)
+
+    profile = sub.add_parser(
+        "profile",
+        help="trace a workload and export a Perfetto JSON + text report")
+    profile.add_argument("--workload", choices=["decode", "sweep"],
+                         default="decode",
+                         help="decode: batched generation on the tiny "
+                              "simulator model; sweep: a small TTS budget "
+                              "sweep")
+    profile.add_argument("--device", default="oneplus_12",
+                         help="device key from the Table 3 registry "
+                              "(e.g. oneplus_12 for the V75 NPU)")
+    profile.add_argument("--batch", type=int, default=8,
+                         help="decode batch size / candidate count")
+    profile.add_argument("--prompt-tokens", type=int, default=8)
+    profile.add_argument("--new-tokens", type=int, default=8)
+    profile.add_argument("--trace-out", default="repro_trace.json",
+                         help="output path of the chrome://tracing JSON")
+    profile.add_argument("--report-out", default=None,
+                         help="optional path for the text report "
+                              "(printed to stdout regardless)")
     return parser
 
 
@@ -139,6 +161,93 @@ def _cmd_sweep(model: str, dataset: str, method: str, budgets: List[int],
     return 0
 
 
+def _cmd_profile(workload: str, device_key: str, batch: int,
+                 prompt_tokens: int, new_tokens: int, trace_out: str,
+                 report_out: Optional[str], out) -> int:
+    from .errors import ObservabilityError, ReproError
+    from .harness.report import render_metrics
+    from .npu import DEVICES
+    from .npu.timing import TimingModel
+    from .obs import (
+        MetricsRegistry,
+        Tracer,
+        engine_utilization,
+        get_metrics,
+        get_tracer,
+        set_metrics,
+        set_tracer,
+        text_report,
+        write_chrome_trace,
+    )
+
+    if device_key not in DEVICES:
+        out.write(f"error: unknown device {device_key!r}; "
+                  f"known: {sorted(DEVICES)}\n")
+        return 2
+    device = DEVICES[device_key]
+    timing = TimingModel(device.npu)
+
+    tracer = Tracer(enabled=True)
+    registry = MetricsRegistry()
+    prev_tracer, prev_metrics = get_tracer(), get_metrics()
+    set_tracer(tracer)
+    set_metrics(registry)
+    try:
+        if workload == "decode":
+            from .llm import InferenceEngine, NPUTransformer, TransformerWeights
+            from .llm.config import tiny_config
+
+            config = tiny_config()
+            weights = TransformerWeights.generate(config, seed=0)
+            model = NPUTransformer(weights)
+            engine = InferenceEngine(
+                model, batch=batch,
+                max_context=prompt_tokens + new_tokens + 1, device=device)
+            result = engine.generate(list(range(1, prompt_tokens + 1)),
+                                     max_new_tokens=new_tokens)
+            out.write(f"generated {result.total_generated_tokens} tokens "
+                      f"across {batch} candidates "
+                      f"({result.n_decode_steps} decode steps)\n")
+        else:
+            from .tts import TaskDataset, budget_sweep, get_model_profile
+
+            profile = get_model_profile("qwen2.5-1.5b")
+            data = TaskDataset.generate("math500", 50, seed=0)
+            budget_sweep("best_of_n", data, profile, budgets=[1, 2, 4],
+                         seed=0)
+    except ReproError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    finally:
+        set_tracer(prev_tracer)
+        set_metrics(prev_metrics)
+
+    trace = write_chrome_trace(trace_out, tracer, timing=timing,
+                               process_name=f"repro profile ({device_key})")
+    report = text_report(tracer, timing=timing)
+    if report_out is not None:
+        with open(report_out, "w") as handle:
+            handle.write(report)
+    out.write(report)
+    try:
+        util = engine_utilization(trace)
+    except ObservabilityError:
+        # the sweep workload traces control flow, not kernel costs
+        util = None
+    if util is not None:
+        out.write("\n== simulated engine utilization ==\n")
+        for lane, fraction in util.items():
+            out.write(f"{lane:<4s} busy {100 * fraction:5.1f}%  "
+                      f"idle {100 * (1 - fraction):5.1f}%\n")
+    snapshot = registry.snapshot()
+    if snapshot:
+        out.write("\n" + render_metrics(snapshot) + "\n")
+    out.write(f"\ntrace written to {trace_out} "
+              f"({len(trace['traceEvents'])} events); open in "
+              f"https://ui.perfetto.dev\n")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
@@ -153,6 +262,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "sweep":
         return _cmd_sweep(args.model, args.dataset, args.method,
                           args.budgets, args.problems, out)
+    if args.command == "profile":
+        return _cmd_profile(args.workload, args.device, args.batch,
+                            args.prompt_tokens, args.new_tokens,
+                            args.trace_out, args.report_out, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

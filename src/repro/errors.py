@@ -80,3 +80,7 @@ class ScalingError(ReproError):
 
 class HarnessError(ReproError):
     """Raised by the experiment harness (unknown experiment id, etc.)."""
+
+
+class ObservabilityError(ReproError):
+    """Raised by the tracing/metrics/export subsystem."""

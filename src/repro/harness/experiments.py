@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from ..errors import HarnessError
+from ..obs import metrics as obs_metrics
 from .figures import (
     run_fig5,
     run_fig8,
@@ -46,14 +47,27 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Regenerate one table/figure by id (e.g. ``"fig15"``)."""
+    """Regenerate one table/figure by id (e.g. ``"fig15"``).
+
+    Each experiment runs against a fresh metrics registry; the snapshot
+    is attached to the result so rendered figures carry the resource
+    counters (DMA bytes, generated tokens, ...) they were produced with.
+    """
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
         raise HarnessError(
             f"unknown experiment {experiment_id!r}; known: "
             f"{sorted(EXPERIMENTS)}") from None
-    return runner()
+    previous = obs_metrics.get_metrics()
+    registry = obs_metrics.MetricsRegistry()
+    obs_metrics.set_metrics(registry)
+    try:
+        result = runner()
+    finally:
+        obs_metrics.set_metrics(previous)
+    result.metrics = registry.snapshot()
+    return result
 
 
 def run_all_experiments() -> List[ExperimentResult]:

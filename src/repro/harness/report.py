@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["ExperimentResult", "render_table", "format_value"]
+__all__ = ["ExperimentResult", "render_table", "render_metrics",
+           "format_value"]
 
 
 def format_value(value: Any) -> str:
@@ -41,11 +42,15 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
     paper_claims: Dict[str, str] = field(default_factory=dict)
     measured_claims: Dict[str, str] = field(default_factory=dict)
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def render(self) -> str:
-        return render_table(f"{self.experiment_id}: {self.title}",
-                            self.headers, self.rows, self.notes,
-                            self.paper_claims, self.measured_claims)
+        rendered = render_table(f"{self.experiment_id}: {self.title}",
+                                self.headers, self.rows, self.notes,
+                                self.paper_claims, self.measured_claims)
+        if self.metrics:
+            rendered += "\n" + render_metrics(self.metrics)
+        return rendered
 
     def column(self, name: str) -> List[Any]:
         """Extract one column by header name."""
@@ -79,4 +84,20 @@ def render_table(title: str, headers: Sequence[str],
             out.append(f"  {key}: paper={expected}  measured={measured}")
     for note in notes or []:
         out.append(f"note: {note}")
+    return "\n".join(out)
+
+
+def render_metrics(metrics: Dict[str, Dict[str, Any]]) -> str:
+    """Compact one-line-per-metric rendering of a registry snapshot."""
+    out = ["metrics:"]
+    for name in sorted(metrics):
+        entry = metrics[name]
+        kind = entry.get("type", "?")
+        if kind == "histogram":
+            detail = (f"count={format_value(entry['count'])} "
+                      f"mean={format_value(entry['mean'])} "
+                      f"p95={format_value(entry['p95'])}")
+        else:
+            detail = f"value={format_value(entry.get('value'))}"
+        out.append(f"  {name} ({kind}): {detail}")
     return "\n".join(out)

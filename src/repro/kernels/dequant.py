@@ -30,6 +30,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..errors import KernelError
+from ..obs import trace as obs_trace
 from ..npu.hvx import HVXContext, VECTOR_BYTES, vectors_for_bytes
 from ..npu.hmx import hmx_layout_order
 from ..npu.memory import DMAEngine
@@ -184,21 +185,24 @@ def dequantize_stream(quantized: QuantizedWeight, strategy: str,
     groups = quantized.groups
     n_elements = groups.n_elements
     packed_bytes = packed.data.size if packed is not None else quantized.storage_bytes
-    _dma_stream_weights(dma, packed_bytes)
+    with obs_trace.span("kernel.dequant", category="kernel",
+                        strategy=strategy, bits=groups.bits,
+                        n_elements=n_elements, packed_bytes=packed_bytes):
+        _dma_stream_weights(dma, packed_bytes)
 
-    if strategy == "no_dequant":
-        # stream quantized bytes through the vector unit untouched
-        n_vec = vectors_for_bytes(packed_bytes)
-        hvx.trace.record("vmem_ld", n_vec)
-        hvx.trace.record("vmem_st", n_vec)
-        return DequantOutput(weights_fp16=None, strategy=strategy,
-                             n_elements=n_elements)
+        if strategy == "no_dequant":
+            # stream quantized bytes through the vector unit untouched
+            n_vec = vectors_for_bytes(packed_bytes)
+            hvx.trace.record("vmem_ld", n_vec)
+            hvx.trace.record("vmem_st", n_vec)
+            return DequantOutput(weights_fp16=None, strategy=strategy,
+                                 n_elements=n_elements)
 
-    if strategy == "baseline":
-        return _dequant_baseline(quantized, hvx, codebook)
-    if strategy == "hmx_layout":
-        return _dequant_hmx_layout(quantized, hvx, codebook)
-    return _dequant_ours(quantized, hvx, codebook, coalesce)
+        if strategy == "baseline":
+            return _dequant_baseline(quantized, hvx, codebook)
+        if strategy == "hmx_layout":
+            return _dequant_hmx_layout(quantized, hvx, codebook)
+        return _dequant_ours(quantized, hvx, codebook, coalesce)
 
 
 def _dequant_baseline(quantized: QuantizedWeight, hvx: HVXContext,

@@ -26,6 +26,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..errors import KernelError
+from ..obs import trace as obs_trace
 from ..npu.hvx import HVXContext, InstructionTrace, vectors_for_bytes
 from ..npu.hmx import HMXUnit, TILE_DIM, pad_to_tiles
 from ..npu.memory import TCM
@@ -223,6 +224,18 @@ class FlashAttention:
                                                                InstructionTrace()))
         breakdown.rescale = KernelCost.from_trace(traces.get("rescale",
                                                              InstructionTrace()))
+        tracer = obs_trace.get_tracer()
+        if tracer.enabled:
+            # one structural span per invocation, one cost-only child per
+            # Algorithm 1 phase — the Fig. 8 decomposition, from the trace
+            with tracer.span("kernel.flash_attention", category="kernel",
+                             n_q=n_q, n_kv=n_kv, head_dim=d,
+                             method=self.method,
+                             flops=4.0 * n_q * n_kv * d):
+                for phase in ("qk_matmul", "softmax", "pv_matmul", "rescale"):
+                    with tracer.span(f"kernel.attention.{phase}",
+                                     category="kernel") as phase_span:
+                        phase_span.add_cost(getattr(breakdown, phase))
         return out[:n_q, :v.shape[1]], breakdown
 
 

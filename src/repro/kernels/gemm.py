@@ -22,6 +22,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..errors import KernelError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..npu.hvx import HVXContext, InstructionTrace
 from ..npu.hmx import HMXUnit
 from ..npu.memory import DMAEngine
@@ -115,30 +117,44 @@ class MixedPrecisionGemm:
             raise KernelError(
                 f"activation width {acts.shape[1]} != weight input dim {in_dim}")
 
-        trace = InstructionTrace()
-        hvx = HVXContext(self.qfloat_mode, trace)
-        dma = DMAEngine()
+        flops = 2.0 * acts.shape[0] * in_dim * out_dim
+        with obs_trace.span("kernel.gemm", category="kernel",
+                            m=acts.shape[0], k=in_dim, n=out_dim,
+                            strategy=self.strategy, bits=self.bits,
+                            flops=flops,
+                            weight_bytes=prepared.storage_bytes) as sp:
+            trace = InstructionTrace()
+            hvx = HVXContext(self.qfloat_mode, trace)
+            dma = DMAEngine()
 
-        # stage activations into TCM (2-D DMA descriptor)
-        dma.transfer_2d(acts.shape[0], acts.shape[1] * 2, direction="ddr_to_tcm")
+            # stage activations into TCM (2-D DMA descriptor)
+            dma.transfer_2d(acts.shape[0], acts.shape[1] * 2,
+                            direction="ddr_to_tcm")
 
-        # weight dequantization (streams packed weights via DMA)
-        dequantize_stream(prepared.quantized, self.strategy, hvx, dma,
-                          packed=prepared.packed, codebook=self.codebook,
-                          coalesce=self.coalesce)
+            # weight dequantization (streams packed weights via DMA)
+            dequantize_stream(prepared.quantized, self.strategy, hvx, dma,
+                              packed=prepared.packed, codebook=self.codebook,
+                              coalesce=self.coalesce)
 
-        # HMX tile GEMM on the dequantized FP16 weights
-        hmx = HMXUnit(trace)
-        if self.strategy == "no_dequant":
-            # upper-bound variant computes nothing; charge the MACs the
-            # real kernel would issue so only dequantization differs
-            trace.record("hmx_tile_mac",
-                         HMXUnit.tile_macs_for_gemm(acts.shape[0], in_dim, out_dim))
-            output = np.zeros((acts.shape[0], out_dim), dtype=np.float16)
-        else:
-            output = hmx.gemm(acts, prepared.dequantized_matrix)
+            # HMX tile GEMM on the dequantized FP16 weights
+            hmx = HMXUnit(trace)
+            if self.strategy == "no_dequant":
+                # upper-bound variant computes nothing; charge the MACs the
+                # real kernel would issue so only dequantization differs
+                trace.record("hmx_tile_mac",
+                             HMXUnit.tile_macs_for_gemm(acts.shape[0], in_dim,
+                                                        out_dim))
+                output = np.zeros((acts.shape[0], out_dim), dtype=np.float16)
+            else:
+                output = hmx.gemm(acts, prepared.dequantized_matrix)
 
-        cost = KernelCost.from_trace(trace, dma)
+            cost = KernelCost.from_trace(trace, dma)
+            sp.add_cost(cost)
+        if obs_trace.enabled():
+            reg = obs_metrics.get_metrics()
+            reg.counter("repro.kernels.gemm_flops").inc(flops)
+            reg.counter("repro.kernels.gemm_weight_bytes").inc(
+                prepared.storage_bytes)
         return output, cost
 
     # ------------------------------------------------------------------

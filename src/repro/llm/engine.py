@@ -13,6 +13,7 @@ lock-step batch decode where each step is a single batch-N forward pass.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -21,6 +22,9 @@ import numpy as np
 from ..errors import EngineError
 from ..npu.memory import MultiSessionHeap, RpcMemHeap
 from ..npu.soc import Device
+from ..npu.timing import TimingModel
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .kv_cache import KVCache
 from .model import NPUTransformer, StepCost
 from .sampler import Sampler
@@ -34,10 +38,26 @@ class GenerationResult:
     sequences: List[List[int]]
     prefill_cost: StepCost
     decode_costs: List[StepCost] = field(default_factory=list)
+    n_generated_tokens: List[int] = field(default_factory=list)
 
     @property
     def n_decode_steps(self) -> int:
         return len(self.decode_costs)
+
+    @property
+    def total_generated_tokens(self) -> int:
+        """Sampled tokens across all candidate sequences."""
+        return sum(self.n_generated_tokens)
+
+    def tokens_per_candidate(self) -> List[int]:
+        """Sampled-token count of each candidate sequence, in slot order.
+
+        Falls back to sequence lengths when the per-sequence counts were
+        not recorded (results built by hand in tests).
+        """
+        if self.n_generated_tokens:
+            return list(self.n_generated_tokens)
+        return [len(seq) for seq in self.sequences]
 
 
 class InferenceEngine:
@@ -59,6 +79,11 @@ class InferenceEngine:
         self.heap: Optional[MultiSessionHeap] = None
         if device is not None:
             self._map_buffers(device)
+        self._timing = TimingModel(device.npu) if device is not None else None
+        reg = obs_metrics.get_metrics()
+        self._tokens_counter = reg.counter("repro.engine.generated_tokens")
+        self._step_latency = reg.histogram("repro.engine.decode_step_seconds")
+        self._tokens_per_second = reg.gauge("repro.engine.tokens_per_second")
 
     def _map_buffers(self, device: Device) -> None:
         """Map weights, KV cache and workspace into the NPU VA space.
@@ -83,6 +108,19 @@ class InferenceEngine:
         """Drop all cached sequences."""
         self.cache = self.model.new_cache(self.batch, self.max_context)
 
+    def _cpu_seconds(self, cost: StepCost) -> float:
+        """CPU time of a step's lm_head GEMMs (0 without a device)."""
+        if self.device is None:
+            return 0.0
+        return sum(self.device.cpu.gemm_seconds(m, k, n)
+                   for m, k, n in cost.cpu_gemms)
+
+    def _step_seconds(self, cost: StepCost, wall_seconds: float) -> float:
+        """Simulated step latency, or host wall clock without a device."""
+        if self._timing is None:
+            return wall_seconds
+        return self._timing.seconds(cost.npu) + self._cpu_seconds(cost)
+
     def prefill(self, prompt: Sequence[int], seq: int = 0) -> "tuple[np.ndarray, StepCost]":
         """Run the prompt through sequence slot ``seq``.
 
@@ -95,7 +133,11 @@ class InferenceEngine:
             raise EngineError(
                 f"prompt of {len(prompt)} tokens exceeds context {self.max_context}")
         tokens = np.asarray(prompt, dtype=np.int64)[np.newaxis, :]
-        logits, cost = self.model.forward(tokens, self.cache, sequences=[seq])
+        with obs_trace.span("engine.prefill", category="engine",
+                            n_tokens=len(prompt), seq=seq) as sp:
+            logits, cost = self.model.forward(tokens, self.cache,
+                                              sequences=[seq])
+            sp.set(cpu_seconds=self._cpu_seconds(cost))
         return logits[0, -1], cost
 
     def fork_prompt(self, source: int = 0,
@@ -114,8 +156,14 @@ class InferenceEngine:
         workload whose batch dimension rides the idle HMX capacity.
         """
         token_arr = np.asarray(list(tokens), dtype=np.int64)[:, np.newaxis]
-        logits, cost = self.model.forward(token_arr, self.cache,
-                                          sequences=sequences)
+        wall_start = time.perf_counter()
+        with obs_trace.span("engine.decode_step", category="engine",
+                            batch=token_arr.shape[0]) as sp:
+            logits, cost = self.model.forward(token_arr, self.cache,
+                                              sequences=sequences)
+            sp.set(cpu_seconds=self._cpu_seconds(cost))
+        self._step_latency.observe(
+            self._step_seconds(cost, time.perf_counter() - wall_start))
         return logits[:, 0, :], cost
 
     # ------------------------------------------------------------------
@@ -136,29 +184,47 @@ class InferenceEngine:
         sampler = sampler if sampler is not None else Sampler(temperature=0.8)
         self.reset()
 
-        last_logits, prefill_cost = self.prefill(prompt, seq=0)
-        if n > 1:
-            self.fork_prompt(0, list(range(1, n)))
+        with obs_trace.span("engine.generate", category="engine",
+                            prompt_tokens=len(prompt),
+                            max_new_tokens=max_new_tokens,
+                            n_candidates=n):
+            last_logits, prefill_cost = self.prefill(prompt, seq=0)
+            if n > 1:
+                with obs_trace.span("engine.fork", category="engine",
+                                    n_targets=n - 1):
+                    self.fork_prompt(0, list(range(1, n)))
 
-        sequences = list(range(n))
-        current = [int(t) for t in sampler.sample_batch(
-            np.tile(last_logits, (n, 1)))]
-        outputs: List[List[int]] = [[t] for t in current]
-        finished = [eos_id is not None and t == eos_id for t in current]
-        result = GenerationResult(sequences=outputs, prefill_cost=prefill_cost)
+            sequences = list(range(n))
+            current = [int(t) for t in sampler.sample_batch(
+                np.tile(last_logits, (n, 1)))]
+            outputs: List[List[int]] = [[t] for t in current]
+            finished = [eos_id is not None and t == eos_id for t in current]
+            result = GenerationResult(sequences=outputs,
+                                      prefill_cost=prefill_cost,
+                                      n_generated_tokens=[1] * n)
 
-        for _ in range(max_new_tokens - 1):
-            if all(finished):
-                break
-            logits, cost = self.decode_step(current, sequences)
-            result.decode_costs.append(cost)
-            next_tokens = sampler.sample_batch(logits)
-            for i in range(n):
-                if finished[i]:
-                    continue
-                token = int(next_tokens[i])
-                outputs[i].append(token)
-                current[i] = token
-                if eos_id is not None and token == eos_id:
-                    finished[i] = True
+            decode_seconds = 0.0
+            for _ in range(max_new_tokens - 1):
+                if all(finished):
+                    break
+                wall_start = time.perf_counter()
+                logits, cost = self.decode_step(current, sequences)
+                decode_seconds += self._step_seconds(
+                    cost, time.perf_counter() - wall_start)
+                result.decode_costs.append(cost)
+                next_tokens = sampler.sample_batch(logits)
+                for i in range(n):
+                    if finished[i]:
+                        continue
+                    token = int(next_tokens[i])
+                    outputs[i].append(token)
+                    current[i] = token
+                    result.n_generated_tokens[i] += 1
+                    if eos_id is not None and token == eos_id:
+                        finished[i] = True
+
+            self._tokens_counter.inc(result.total_generated_tokens)
+            if decode_seconds > 0.0:
+                decoded = result.total_generated_tokens - n
+                self._tokens_per_second.set(max(decoded, 0) / decode_seconds)
         return result

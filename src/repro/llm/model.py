@@ -26,6 +26,7 @@ import numpy as np
 
 from ..errors import EngineError, ModelConfigError
 from ..kernels.flash_attention import FlashAttention, attention_fp32_reference
+from ..obs import trace as obs_trace
 from ..kernels.gemm import MixedPrecisionGemm, PreparedWeight
 from ..kernels.ops import (
     residual_add,
@@ -125,9 +126,30 @@ class StepCost:
     cpu_gemms: List[Tuple[int, int, int]] = field(default_factory=list)
 
     def merge(self, other: "StepCost") -> "StepCost":
+        """Accumulate ``other`` into ``self`` **in place** and return self.
+
+        Because the return value *is* ``self``, using ``merge`` in
+        expression position aliases the accumulator — merging the result
+        into another record later double-counts.  Use :meth:`__add__` or
+        :meth:`combined` when a fresh record is wanted.
+        """
         self.npu.merge(other.npu)
         self.cpu_gemms.extend(other.cpu_gemms)
         return self
+
+    def __add__(self, other: "StepCost") -> "StepCost":
+        """Non-mutating sum: returns a fresh record, operands untouched."""
+        if not isinstance(other, StepCost):
+            return NotImplemented
+        return StepCost(npu=self.npu + other.npu,
+                        cpu_gemms=self.cpu_gemms + other.cpu_gemms)
+
+    def combined(self, *others: "StepCost") -> "StepCost":
+        """Fresh sum of ``self`` and ``others`` (alias-safe merge)."""
+        total = self + StepCost()
+        for other in others:
+            total = total + other
+        return total
 
 
 class NPUTransformer:
@@ -197,72 +219,87 @@ class NPUTransformer:
         if positions.size and int(positions.max()) >= cfg.max_position:
             raise EngineError("position exceeds the model's maximum context")
 
-        # CPU-side embedding lookup (FP16 storage)
-        hidden = self.weights.embedding[tokens].astype(np.float16)
-        flat = hidden.reshape(batch * n_new, cfg.hidden_dim)
-        flat_pos = positions.reshape(-1)
+        tracer = obs_trace.get_tracer()
+        with tracer.span("model.forward", category="model",
+                         batch=batch, n_new=n_new) as forward_span:
+            # CPU-side embedding lookup (FP16 storage)
+            hidden = self.weights.embedding[tokens].astype(np.float16)
+            flat = hidden.reshape(batch * n_new, cfg.hidden_dim)
+            flat_pos = positions.reshape(-1)
 
-        for layer_idx in range(cfg.n_layers):
-            layer = self.weights.layers[layer_idx]
-            prepared = self._prepared[layer_idx]
+            for layer_idx in range(cfg.n_layers):
+                layer = self.weights.layers[layer_idx]
+                prepared = self._prepared[layer_idx]
 
-            # --- attention block ---------------------------------------
-            normed = rms_norm(flat, layer["norm_attn"].astype(np.float16))
-            q, c = self._gemm_q4(normed, prepared["wq"])
-            cost.npu.merge(c)
-            k, c = self._gemm_q4(normed, prepared["wk"])
-            cost.npu.merge(c)
-            v, c = self._gemm_q4(normed, prepared["wv"])
-            cost.npu.merge(c)
+                with tracer.span("model.layer", category="model",
+                                 layer=layer_idx):
+                    # --- attention block -------------------------------
+                    normed = rms_norm(flat,
+                                      layer["norm_attn"].astype(np.float16))
+                    q, c = self._gemm_q4(normed, prepared["wq"])
+                    cost.npu.merge(c)
+                    k, c = self._gemm_q4(normed, prepared["wk"])
+                    cost.npu.merge(c)
+                    v, c = self._gemm_q4(normed, prepared["wv"])
+                    cost.npu.merge(c)
 
-            q = q.reshape(batch * n_new, cfg.n_heads, cfg.head_dim)
-            k = k.reshape(batch * n_new, cfg.n_kv_heads, cfg.head_dim)
-            v = v.reshape(batch * n_new, cfg.n_kv_heads, cfg.head_dim)
-            for h in range(cfg.n_heads):
-                q[:, h] = rope_rotate(q[:, h], flat_pos, self._cos, self._sin)
-            for h in range(cfg.n_kv_heads):
-                k[:, h] = rope_rotate(k[:, h], flat_pos, self._cos, self._sin)
+                    q = q.reshape(batch * n_new, cfg.n_heads, cfg.head_dim)
+                    k = k.reshape(batch * n_new, cfg.n_kv_heads, cfg.head_dim)
+                    v = v.reshape(batch * n_new, cfg.n_kv_heads, cfg.head_dim)
+                    for h in range(cfg.n_heads):
+                        q[:, h] = rope_rotate(q[:, h], flat_pos,
+                                              self._cos, self._sin)
+                    for h in range(cfg.n_kv_heads):
+                        k[:, h] = rope_rotate(k[:, h], flat_pos,
+                                              self._cos, self._sin)
 
-            layer_cache = cache[layer_idx]
-            attn_out = np.empty((batch * n_new, cfg.n_heads, cfg.head_dim),
-                                dtype=np.float16)
-            for b, seq in enumerate(sequences):
-                rows = slice(b * n_new, (b + 1) * n_new)
-                layer_cache.append(seq, k[rows], v[rows])
-                keys, values = layer_cache.view(seq)
-                kv_len = keys.shape[0]
-                k_pos = np.arange(kv_len)
-                q_pos = positions[b]
-                for kv_head in range(cfg.n_kv_heads):
-                    heads = range(kv_head * cfg.gqa_group,
-                                  (kv_head + 1) * cfg.gqa_group)
-                    for h in heads:
-                        out, breakdown = self._attention(
-                            q[rows, h], keys[:, kv_head], values[:, kv_head],
-                            q_positions=q_pos, k_positions=k_pos)
-                        attn_out[rows, h] = out
-                        cost.npu.merge(breakdown.total())
+                    layer_cache = cache[layer_idx]
+                    attn_out = np.empty(
+                        (batch * n_new, cfg.n_heads, cfg.head_dim),
+                        dtype=np.float16)
+                    for b, seq in enumerate(sequences):
+                        rows = slice(b * n_new, (b + 1) * n_new)
+                        layer_cache.append(seq, k[rows], v[rows])
+                        keys, values = layer_cache.view(seq)
+                        kv_len = keys.shape[0]
+                        k_pos = np.arange(kv_len)
+                        q_pos = positions[b]
+                        for kv_head in range(cfg.n_kv_heads):
+                            heads = range(kv_head * cfg.gqa_group,
+                                          (kv_head + 1) * cfg.gqa_group)
+                            for h in heads:
+                                out, breakdown = self._attention(
+                                    q[rows, h], keys[:, kv_head],
+                                    values[:, kv_head],
+                                    q_positions=q_pos, k_positions=k_pos)
+                                attn_out[rows, h] = out
+                                cost.npu.merge(breakdown.total())
 
-            attn_flat = attn_out.reshape(batch * n_new, cfg.q_dim)
-            o, c = self._gemm_q4(attn_flat, prepared["wo"])
-            cost.npu.merge(c)
-            flat = residual_add(o, flat)
+                    attn_flat = attn_out.reshape(batch * n_new, cfg.q_dim)
+                    o, c = self._gemm_q4(attn_flat, prepared["wo"])
+                    cost.npu.merge(c)
+                    flat = residual_add(o, flat)
 
-            # --- FFN block ----------------------------------------------
-            normed = rms_norm(flat, layer["norm_ffn"].astype(np.float16))
-            gate, c = self._gemm_q4(normed, prepared["w_gate"])
-            cost.npu.merge(c)
-            up, c = self._gemm_q4(normed, prepared["w_up"])
-            cost.npu.merge(c)
-            activated = swiglu(gate, up)
-            down, c = self._gemm_down(activated, prepared["w_down"])
-            cost.npu.merge(c)
-            flat = residual_add(down, flat)
+                    # --- FFN block --------------------------------------
+                    normed = rms_norm(flat,
+                                      layer["norm_ffn"].astype(np.float16))
+                    gate, c = self._gemm_q4(normed, prepared["w_gate"])
+                    cost.npu.merge(c)
+                    up, c = self._gemm_q4(normed, prepared["w_up"])
+                    cost.npu.merge(c)
+                    activated = swiglu(gate, up)
+                    down, c = self._gemm_down(activated, prepared["w_down"])
+                    cost.npu.merge(c)
+                    flat = residual_add(down, flat)
 
-        # --- CPU-side lm_head (§7.2.2) ---------------------------------
-        final = rms_norm(flat, self.weights.final_norm.astype(np.float16))
-        logits = final.astype(np.float32) @ self.weights.lm_head
-        cost.cpu_gemms.append((batch * n_new, cfg.hidden_dim, cfg.vocab_size))
+            # --- CPU-side lm_head (§7.2.2) -----------------------------
+            with tracer.span("model.lm_head", category="model",
+                             m=batch * n_new, k=cfg.hidden_dim,
+                             n=cfg.vocab_size):
+                final = rms_norm(flat, self.weights.final_norm.astype(np.float16))
+                logits = final.astype(np.float32) @ self.weights.lm_head
+            cost.cpu_gemms.append((batch * n_new, cfg.hidden_dim, cfg.vocab_size))
+            forward_span.add_cost(cost.npu + KernelCost())
         return logits.reshape(batch, n_new, cfg.vocab_size), cost
 
     # ------------------------------------------------------------------

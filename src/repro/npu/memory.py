@@ -25,6 +25,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..errors import AddressSpaceError, DMAError, TCMAccessError, TCMAllocationError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 
 __all__ = [
     "TCM_CAPACITY_BYTES",
@@ -96,6 +98,10 @@ class TCM:
         region = TCMRegion(cursor, aligned)
         self._regions.append(region)
         self._peak_usage = max(self._peak_usage, self.used_bytes())
+        if obs_trace.enabled():
+            reg = obs_metrics.get_metrics()
+            reg.gauge("repro.npu.tcm_used_bytes").set(self.used_bytes())
+            reg.gauge("repro.npu.tcm_peak_bytes").set(self._peak_usage)
         return region
 
     def free(self, region: TCMRegion) -> None:
@@ -188,6 +194,8 @@ class DMAEngine:
             raise DMAError(f"DMA transfer size must be positive, got {nbytes}")
         transfer = DMATransfer(nbytes=nbytes, rows=rows, direction=direction)
         self.transfers.append(transfer)
+        if obs_trace.enabled():
+            obs_metrics.get_metrics().counter("repro.npu.dma_bytes").inc(nbytes)
         return transfer
 
     def total_bytes(self, direction: Optional[str] = None) -> int:
@@ -281,6 +289,9 @@ class RpcMemHeap:
                 f"{self.va_space_bytes / 2**20:.0f} MiB")
         buffer = SharedBuffer(nbytes, name=name)
         self.buffers.append(buffer)
+        if obs_trace.enabled():
+            obs_metrics.get_metrics().gauge(
+                "repro.npu.rpcmem_mapped_bytes").set(self.mapped_bytes())
         return buffer
 
     def free(self, buffer: SharedBuffer) -> None:

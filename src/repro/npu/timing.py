@@ -125,6 +125,12 @@ class KernelCost:
     dma_bytes: int = 0
 
     def merge(self, other: "KernelCost") -> "KernelCost":
+        """Accumulate ``other`` into ``self`` **in place** and return self.
+
+        The returned object *is* ``self`` — binding it to a new name
+        aliases the accumulator.  Use :meth:`__add__`/:meth:`combined`
+        in expression position when a fresh record is wanted.
+        """
         self.hmx_tile_macs += other.hmx_tile_macs
         self.hvx_packets += other.hvx_packets
         self.vgather_instrs += other.vgather_instrs
@@ -132,6 +138,26 @@ class KernelCost:
         self.hvx_ddr_bytes += other.hvx_ddr_bytes
         self.dma_bytes += other.dma_bytes
         return self
+
+    def __add__(self, other: "KernelCost") -> "KernelCost":
+        """Non-mutating sum: returns a fresh record, operands untouched."""
+        if not isinstance(other, KernelCost):
+            return NotImplemented
+        return KernelCost(
+            hmx_tile_macs=self.hmx_tile_macs + other.hmx_tile_macs,
+            hvx_packets=self.hvx_packets + other.hvx_packets,
+            vgather_instrs=self.vgather_instrs + other.vgather_instrs,
+            vscatter_instrs=self.vscatter_instrs + other.vscatter_instrs,
+            hvx_ddr_bytes=self.hvx_ddr_bytes + other.hvx_ddr_bytes,
+            dma_bytes=self.dma_bytes + other.dma_bytes,
+        )
+
+    def combined(self, *others: "KernelCost") -> "KernelCost":
+        """Fresh sum of ``self`` and ``others`` (alias-safe merge)."""
+        total = self + KernelCost()
+        for other in others:
+            total = total + other
+        return total
 
     def scaled(self, factor: float) -> "KernelCost":
         """Return a cost scaled by ``factor`` (e.g. per-layer -> per-model)."""

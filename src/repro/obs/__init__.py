@@ -1,0 +1,65 @@
+"""Observability: span tracing, metrics, and Perfetto trace export.
+
+* :mod:`repro.obs.trace` — nested spans with a no-op fast path, the
+  instrumentation hooks threaded through engine/model/kernel hot paths.
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
+  under the ``repro.<layer>.<name>`` naming convention.
+* :mod:`repro.obs.export` — ``chrome://tracing`` JSON (opens in
+  Perfetto) with HMX/HVX/DMA/CPU engine lanes, plus a flamegraph-style
+  text report.
+
+Tracing is disabled by default; enable it for a run with::
+
+    from repro import obs
+    tracer = obs.Tracer()
+    obs.set_tracer(tracer)
+    ...                                  # run the instrumented workload
+    obs.write_chrome_trace("trace.json", tracer, timing=TimingModel(V75))
+
+or use the ``python -m repro profile`` CLI, which wires this up around a
+generation or TTS sweep.
+"""
+
+from .export import (
+    ENGINE_LANES,
+    chrome_trace,
+    engine_utilization,
+    text_report,
+    write_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_metrics,
+    histogram,
+    set_metrics,
+)
+from .trace import NULL_SPAN, Span, Tracer, enabled, get_tracer, set_tracer, span
+
+__all__ = [
+    "ENGINE_LANES",
+    "chrome_trace",
+    "engine_utilization",
+    "text_report",
+    "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "get_metrics",
+    "histogram",
+    "set_metrics",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "enabled",
+    "get_tracer",
+    "set_tracer",
+    "span",
+]

@@ -1,0 +1,289 @@
+"""Chrome-trace (Perfetto) export and text reporting for traced runs.
+
+Converts a :class:`~repro.obs.trace.Tracer`'s spans into the
+``chrome://tracing`` JSON event format, which Perfetto
+(https://ui.perfetto.dev) opens directly.  Two timelines are emitted in
+one process:
+
+* **host threads** — the wall-clock span hierarchy as recorded, one
+  Chrome thread per Python thread;
+* **engine lanes** — ``HMX`` / ``HVX`` / ``DMA`` / ``CPU`` occupancy on
+  a *simulated* timeline.  Every cost-bearing span (kernels attach their
+  :class:`~repro.npu.timing.KernelCost`) becomes one bar per engine,
+  all bars starting at the span's simulated start and each lasting that
+  engine's component time.  The gap between an engine's bar and the
+  span's critical-path time is idle capacity — the HMX lane during
+  batched decode shows exactly the Fig. 8 / §4 headroom the paper's
+  test-time scaling rides on.
+
+The module deliberately imports nothing from :mod:`repro.npu`: the
+timing model is passed in by the caller and used duck-typed
+(``hmx_seconds`` / ``hvx_seconds`` / ``dma_seconds`` / ``seconds``), so
+the observability layer sits below every subsystem without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..errors import ObservabilityError
+from .trace import Span, Tracer
+
+__all__ = [
+    "ENGINE_LANES",
+    "chrome_trace",
+    "write_chrome_trace",
+    "engine_utilization",
+    "text_report",
+]
+
+_PID = 1
+_HOST_TID_BASE = 1
+ENGINE_LANES = ("HMX", "HVX", "DMA", "CPU")
+_ENGINE_TIDS = {"HMX": 100, "HVX": 101, "DMA": 102, "CPU": 103}
+
+
+def _spans_of(source: Union[Tracer, Sequence[Span]]) -> List[Span]:
+    if isinstance(source, Tracer):
+        return source.finished_spans()
+    return list(source)
+
+
+def _engine_seconds(timing: Any, cost: Any) -> Dict[str, float]:
+    """Per-engine component times of one cost record (duck-typed)."""
+    return {
+        "HMX": float(timing.hmx_seconds(cost)),
+        "HVX": float(timing.hvx_seconds(cost)),
+        "DMA": float(timing.dma_seconds(cost)),
+    }
+
+
+def _leaf_cost_spans(spans: List[Span]) -> List[Span]:
+    """Cost-bearing spans with no cost-bearing descendants.
+
+    Costs are attached at several nesting levels (``model.forward``
+    carries the whole step, its kernel children carry the pieces);
+    pricing every level would double-count engine time, so only the
+    deepest attribution is used.
+    """
+    costed = [s for s in spans if s.costs]
+    has_cost_descendant = set()
+    costed_indices = {s.index for s in costed}
+    by_index = {s.index: s for s in spans}
+    for span in costed:
+        parent = span.parent
+        while parent is not None:
+            if parent in costed_indices:
+                has_cost_descendant.add(parent)
+            parent = by_index[parent].parent if parent in by_index else None
+    return [s for s in costed if s.index not in has_cost_descendant]
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace(source: Union[Tracer, Sequence[Span]],
+                 timing: Optional[Any] = None,
+                 process_name: str = "repro") -> Dict[str, Any]:
+    """Build a ``chrome://tracing`` JSON object from finished spans.
+
+    ``timing`` (a :class:`~repro.npu.timing.TimingModel`) prices each
+    span's attached kernel costs onto the four engine lanes; without it
+    only the host-thread timeline is emitted.  The result round-trips
+    through :func:`json.dumps` and loads in Perfetto.
+    """
+    spans = _spans_of(source)
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+        "args": {"name": process_name},
+    }]
+
+    # host-thread lanes
+    threads = sorted({s.thread for s in spans})
+    host_tids = {name: _HOST_TID_BASE + i for i, name in enumerate(threads)}
+    for name, tid in host_tids.items():
+        events.append({"name": "thread_name", "ph": "M", "pid": _PID,
+                       "tid": tid, "args": {"name": f"host:{name}"}})
+    for lane in ENGINE_LANES:
+        events.append({"name": "thread_name", "ph": "M", "pid": _PID,
+                       "tid": _ENGINE_TIDS[lane], "args": {"name": lane}})
+
+    t0 = min((s.start for s in spans), default=0.0)
+    for span in spans:
+        args = {k: _json_safe(v) for k, v in span.attrs.items()
+                if not k.startswith("_")}
+        events.append({
+            "name": span.name, "cat": span.category, "ph": "X",
+            "ts": (span.start - t0) * 1e6,
+            "dur": max(span.duration, 0.0) * 1e6,
+            "pid": _PID, "tid": host_tids[span.thread], "args": args,
+        })
+
+    # engine lanes on the simulated timeline (deepest attribution only).
+    # The span forest is walked depth-first in start order: each leaf
+    # cost span contributes concurrent HMX/HVX/DMA bars at the current
+    # simulated cursor, and a span's ``cpu_seconds`` attr (the lm_head on
+    # the CPU) is emitted *after* its descendants — the CPU consumes the
+    # NPU's final hidden states, so it serializes behind them.
+    if timing is not None:
+        by_index = {s.index: s for s in spans}
+        children: Dict[Optional[int], List[Span]] = {}
+        for span in spans:
+            parent = span.parent if span.parent in by_index else None
+            children.setdefault(parent, []).append(span)
+        for siblings in children.values():
+            siblings.sort(key=lambda s: s.start)
+        leaves = {s.index for s in _leaf_cost_spans(spans)}
+        cursor_us = [0.0]
+
+        def emit_engine(span: Span) -> None:
+            cost = span.total_cost() if span.index in leaves else None
+            if cost is not None:
+                step_us = float(timing.seconds(cost)) * 1e6
+                for lane, seconds in _engine_seconds(timing, cost).items():
+                    if seconds <= 0.0:
+                        continue
+                    events.append({
+                        "name": span.name, "cat": "sim.engine", "ph": "X",
+                        "ts": cursor_us[0], "dur": seconds * 1e6,
+                        "pid": _PID, "tid": _ENGINE_TIDS[lane],
+                        "args": {"engine": lane},
+                    })
+                cursor_us[0] += step_us
+            for child in children.get(span.index, []):
+                emit_engine(child)
+            cpu_seconds = float(span.attrs.get("cpu_seconds", 0.0))
+            if cpu_seconds > 0.0:
+                events.append({
+                    "name": span.name, "cat": "sim.engine", "ph": "X",
+                    "ts": cursor_us[0], "dur": cpu_seconds * 1e6,
+                    "pid": _PID, "tid": _ENGINE_TIDS["CPU"],
+                    "args": {"engine": "CPU"},
+                })
+                cursor_us[0] += cpu_seconds * 1e6
+
+        for root in children.get(None, []):
+            emit_engine(root)
+
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.obs"}}
+
+
+def write_chrome_trace(path: str, source: Union[Tracer, Sequence[Span]],
+                       timing: Optional[Any] = None,
+                       process_name: str = "repro") -> Dict[str, Any]:
+    """Write the Chrome-trace JSON to ``path``; returns the trace dict."""
+    trace = chrome_trace(source, timing=timing, process_name=process_name)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return trace
+
+
+def engine_utilization(trace: Dict[str, Any]) -> Dict[str, float]:
+    """Busy fraction per engine lane over the simulated timeline.
+
+    ``1 - engine_utilization(trace)["HMX"]`` is the HMX-idle fraction —
+    the quantity §4 of the paper builds its whole argument on.
+    """
+    events = [e for e in trace.get("traceEvents", [])
+              if e.get("cat") == "sim.engine" and e.get("ph") == "X"]
+    if not events:
+        raise ObservabilityError(
+            "trace has no engine-lane events; was it exported with a "
+            "TimingModel?")
+    span_us = max(e["ts"] + e["dur"] for e in events)
+    tid_to_lane = {tid: lane for lane, tid in _ENGINE_TIDS.items()}
+    busy: Dict[str, float] = {lane: 0.0 for lane in ENGINE_LANES}
+    for event in events:
+        lane = tid_to_lane.get(event["tid"])
+        if lane is not None:
+            busy[lane] += event["dur"]
+    if span_us <= 0:
+        raise ObservabilityError("engine timeline has zero extent")
+    return {lane: busy[lane] / span_us for lane in ENGINE_LANES}
+
+
+# ----------------------------------------------------------------------
+# text report
+# ----------------------------------------------------------------------
+def _aggregate_tree(spans: List[Span]) -> Dict[tuple, Dict[str, float]]:
+    """Aggregate spans by their name path (flamegraph folding)."""
+    by_index = {s.index: s for s in spans}
+    paths: Dict[tuple, Dict[str, float]] = {}
+    for span in spans:
+        names = [span.name]
+        parent = span.parent
+        while parent is not None and parent in by_index:
+            names.append(by_index[parent].name)
+            parent = by_index[parent].parent
+        path = tuple(reversed(names))
+        entry = paths.setdefault(path, {"count": 0, "seconds": 0.0})
+        entry["count"] += 1
+        entry["seconds"] += span.duration
+    return paths
+
+
+def text_report(source: Union[Tracer, Sequence[Span]],
+                timing: Optional[Any] = None) -> str:
+    """Flamegraph-style text report: span tree plus kernel attribution."""
+    spans = _spans_of(source)
+    lines: List[str] = []
+    if not spans:
+        return "trace is empty (was the tracer enabled?)\n"
+
+    paths = _aggregate_tree(spans)
+    total = sum(s.duration for s in spans if s.parent is None) or 1e-12
+
+    lines.append("== span tree (host wall clock) ==")
+    lines.append(f"{'span':<52s} {'count':>6s} {'ms':>10s} {'%':>6s}")
+
+    def emit(prefix: tuple, indent: int) -> None:
+        children = sorted(
+            (p for p in paths if len(p) == len(prefix) + 1
+             and p[:len(prefix)] == prefix),
+            key=lambda p: -paths[p]["seconds"])
+        for path in children:
+            entry = paths[path]
+            label = "  " * indent + path[-1]
+            lines.append(f"{label:<52s} {int(entry['count']):>6d} "
+                         f"{entry['seconds'] * 1e3:>10.3f} "
+                         f"{100.0 * entry['seconds'] / total:>6.1f}")
+            emit(path, indent + 1)
+
+    emit((), 0)
+
+    if timing is not None:
+        costed: Dict[str, Dict[str, float]] = {}
+        for span in _leaf_cost_spans(spans):
+            cost = span.total_cost()
+            if cost is None:
+                continue
+            entry = costed.setdefault(span.name, {
+                "count": 0, "sim": 0.0, "hmx": 0.0, "hvx": 0.0, "dma": 0.0})
+            entry["count"] += 1
+            entry["sim"] += float(timing.seconds(cost))
+            engines = _engine_seconds(timing, cost)
+            entry["hmx"] += engines["HMX"]
+            entry["hvx"] += engines["HVX"]
+            entry["dma"] += engines["DMA"]
+        if costed:
+            sim_total = sum(e["sim"] for e in costed.values()) or 1e-12
+            lines.append("")
+            lines.append("== per-kernel simulated time attribution ==")
+            lines.append(f"{'kernel':<28s} {'count':>6s} {'sim us':>12s} "
+                         f"{'%':>6s} {'hmx us':>10s} {'hvx us':>10s} "
+                         f"{'dma us':>10s}")
+            for name in sorted(costed, key=lambda n: -costed[n]["sim"]):
+                entry = costed[name]
+                lines.append(
+                    f"{name:<28s} {int(entry['count']):>6d} "
+                    f"{entry['sim'] * 1e6:>12.1f} "
+                    f"{100.0 * entry['sim'] / sim_total:>6.1f} "
+                    f"{entry['hmx'] * 1e6:>10.1f} "
+                    f"{entry['hvx'] * 1e6:>10.1f} "
+                    f"{entry['dma'] * 1e6:>10.1f}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,223 @@
+"""Counters, gauges and fixed-bucket histograms for the simulator.
+
+Metric names follow the convention ``repro.<layer>.<name>`` —
+``repro.llm.tokens_generated``, ``repro.npu.dma_bytes``,
+``repro.kernels.gemm_flops`` — so snapshots group naturally by subsystem.
+
+A global default :class:`MetricsRegistry` backs module-level access
+(:func:`get_metrics`), and every instrument is injectable: code that
+wants isolated measurement constructs its own registry and installs it
+with :func:`set_metrics` (the ``repro profile`` CLI does exactly this so
+a profiled run starts from zero).
+
+Histograms use fixed buckets so recording is O(log buckets) with no
+stored samples; quantiles (p50/p95/p99) are estimated by linear
+interpolation within the landing bucket — the standard
+Prometheus-histogram trade-off, plenty for per-step latency summaries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+
+def _default_buckets() -> List[float]:
+    """Exponential buckets covering 1 microsecond .. ~70 seconds."""
+    return [1e-6 * (2.0 ** i) for i in range(27)]
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value; tracks the maximum it has seen."""
+
+    __slots__ = ("name", "value", "max_value", "_seen")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+        self._seen = False
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.max_value = value if not self._seen else max(self.max_value, value)
+        self._seen = True
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantile summaries."""
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str,
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        bounds = list(buckets) if buckets is not None else _default_buckets()
+        if not bounds or sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+            raise ObservabilityError(
+                f"histogram {name} needs strictly increasing bucket bounds, "
+                f"got {bounds}")
+        self.name = name
+        self.buckets = bounds                    # upper bounds; +inf implicit
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by intra-bucket interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            if seen + n >= rank and n > 0:
+                lo = self.buckets[i - 1] if i > 0 else self.min
+                hi = self.buckets[i] if i < len(self.buckets) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return lo
+                fraction = (rank - seen) / n
+                return lo + fraction * (hi - lo)
+            seen += n
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"type": "histogram"}
+        out.update(self.summary())
+        return out
+
+
+class MetricsRegistry:
+    """Named instrument registry with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, kind, *args):
+        if not name or " " in name:
+            raise ObservabilityError(f"invalid metric name {name!r}")
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, *args)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ObservabilityError(
+                    f"metric {name} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}")
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self._get_or_create(name, Histogram, buckets)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-value snapshot of every instrument, sorted by name."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in items}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+# ----------------------------------------------------------------------
+# global default registry
+# ----------------------------------------------------------------------
+_default_registry = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    return _default_registry
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the global default; returns the previous."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def counter(name: str) -> Counter:
+    return _default_registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _default_registry.gauge(name)
+
+
+def histogram(name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+    return _default_registry.histogram(name, buckets)

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import ScalingError
+from ..obs import trace as obs_trace
 from .reward import RewardModel
 from .tasks import ModelProfile, SampledSolution, TaskDataset, sample_solutions
 
@@ -61,14 +62,19 @@ def evaluate_best_of_n(dataset: TaskDataset, profile: ModelProfile,
     n_oracle = 0
     total_tokens = 0
     for problem, p in zip(dataset.problems, probabilities):
-        solutions = sample_solutions(problem, float(p), budget, rng,
-                                     tokens_per_step=tokens_per_step)
-        total_tokens += sum(s.n_tokens for s in solutions)
-        if any(s.correct for s in solutions):
-            n_oracle += 1
-        chosen = best_of_n_single(solutions, reward)
-        if chosen.correct:
-            n_correct += 1
+        with obs_trace.span("tts.best_of_n.problem", category="tts",
+                            problem=problem.problem_id,
+                            n_candidates=budget) as sp:
+            solutions = sample_solutions(problem, float(p), budget, rng,
+                                         tokens_per_step=tokens_per_step)
+            problem_tokens = sum(s.n_tokens for s in solutions)
+            total_tokens += problem_tokens
+            if any(s.correct for s in solutions):
+                n_oracle += 1
+            chosen = best_of_n_single(solutions, reward)
+            if chosen.correct:
+                n_correct += 1
+            sp.set(tokens=problem_tokens, correct=chosen.correct)
     n = len(dataset.problems)
     return BestOfNResult(dataset=dataset.name, model=profile.name, budget=budget,
                          accuracy=n_correct / n, oracle_accuracy=n_oracle / n,

@@ -11,6 +11,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ScalingError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .beam_search import evaluate_beam_search
 from .best_of_n import evaluate_best_of_n
 from .mcts import evaluate_mcts
@@ -67,36 +69,52 @@ def budget_sweep(method: str, dataset: TaskDataset, profile: ModelProfile,
 
     accuracies: List[float] = []
     tokens: List[float] = []
-    for i, budget in enumerate(budgets):
-        run_seed = seed + 1000 * i
-        reward = RewardModel(sigma=reward_sigma, seed=run_seed + 1)
-        if method == "best_of_n":
-            result = evaluate_best_of_n(dataset, profile, budget, reward,
-                                        seed=run_seed)
-            accuracies.append(result.accuracy)
-            tokens.append(result.mean_tokens_per_problem)
-        elif method == "beam_search":
-            result = evaluate_beam_search(dataset, profile, budget,
-                                          reward=reward, seed=run_seed)
-            accuracies.append(result.accuracy)
-            tokens.append(result.mean_tokens_per_problem)
-        elif method == "mcts":
-            result = evaluate_mcts(dataset, profile, budget, reward=reward,
-                                   seed=run_seed)
-            accuracies.append(result.accuracy)
-            tokens.append(result.mean_rollouts_per_problem
-                          * dataset.profile.tokens_per_step
-                          * dataset.profile.max_steps)
-        elif method == "weighted_sc":
-            result = evaluate_self_consistency(dataset, profile, budget,
-                                               seed=run_seed, reward=reward)
-            accuracies.append(result.accuracy)
-            tokens.append(result.mean_tokens_per_problem)
-        else:
-            result = evaluate_self_consistency(dataset, profile, budget,
-                                               seed=run_seed)
-            accuracies.append(result.accuracy)
-            tokens.append(result.mean_tokens_per_problem)
+    sweep_span = obs_trace.span("tts.budget_sweep", category="tts",
+                                method=method, model=profile.name,
+                                dataset=dataset.name, n_budgets=len(budgets))
+    with sweep_span:
+        for i, budget in enumerate(budgets):
+            with obs_trace.span("tts.budget", category="tts",
+                                method=method, budget=budget):
+                _run_budget(method, dataset, profile, budget, reward_sigma,
+                            seed, i, accuracies, tokens)
+            obs_metrics.get_metrics().counter(
+                "repro.tts.budgets_evaluated").inc()
     return ScalingCurve(method=method, model=profile.name, dataset=dataset.name,
                         budgets=budgets, accuracies=accuracies,
                         tokens_per_problem=tokens)
+
+
+def _run_budget(method: str, dataset: TaskDataset, profile: ModelProfile,
+                budget: int, reward_sigma: float, seed: int, i: int,
+                accuracies: List[float], tokens: List[float]) -> None:
+    """Evaluate one budget point of a sweep, appending to the curves."""
+    run_seed = seed + 1000 * i
+    reward = RewardModel(sigma=reward_sigma, seed=run_seed + 1)
+    if method == "best_of_n":
+        result = evaluate_best_of_n(dataset, profile, budget, reward,
+                                    seed=run_seed)
+        accuracies.append(result.accuracy)
+        tokens.append(result.mean_tokens_per_problem)
+    elif method == "beam_search":
+        result = evaluate_beam_search(dataset, profile, budget,
+                                      reward=reward, seed=run_seed)
+        accuracies.append(result.accuracy)
+        tokens.append(result.mean_tokens_per_problem)
+    elif method == "mcts":
+        result = evaluate_mcts(dataset, profile, budget, reward=reward,
+                               seed=run_seed)
+        accuracies.append(result.accuracy)
+        tokens.append(result.mean_rollouts_per_problem
+                      * dataset.profile.tokens_per_step
+                      * dataset.profile.max_steps)
+    elif method == "weighted_sc":
+        result = evaluate_self_consistency(dataset, profile, budget,
+                                           seed=run_seed, reward=reward)
+        accuracies.append(result.accuracy)
+        tokens.append(result.mean_tokens_per_problem)
+    else:
+        result = evaluate_self_consistency(dataset, profile, budget,
+                                           seed=run_seed)
+        accuracies.append(result.accuracy)
+        tokens.append(result.mean_tokens_per_problem)

@@ -87,6 +87,33 @@ class TestGenerate:
         assert len(result.decode_costs) == 2
         assert all(c.npu.dma_bytes > 0 for c in result.decode_costs)
 
+    def test_generated_token_counts_recorded(self, engine):
+        result = engine.generate([1, 2], max_new_tokens=5,
+                                 sampler=Sampler(temperature=1.0, seed=3))
+        assert result.n_generated_tokens == [5, 5, 5, 5]
+        assert result.total_generated_tokens == 20
+        assert result.tokens_per_candidate() == [len(s)
+                                                 for s in result.sequences]
+
+    def test_generated_token_counts_with_eos(self, engine):
+        sampler = Sampler(temperature=0.0)
+        logits, _ = engine.prefill([1])
+        eos = int(logits.argmax())
+        engine.reset()
+        result = engine.generate([1], max_new_tokens=8, sampler=sampler,
+                                 eos_id=eos)
+        # every candidate sampled eos as its first token and stopped
+        assert result.n_generated_tokens == [1] * len(result.sequences)
+        assert result.total_generated_tokens == len(result.sequences)
+
+    def test_tokens_per_candidate_falls_back_to_sequences(self):
+        from repro.llm.engine import GenerationResult
+        from repro.llm.model import StepCost
+
+        result = GenerationResult(sequences=[[1, 2, 3], [4]],
+                                  prefill_cost=StepCost())
+        assert result.tokens_per_candidate() == [3, 1]
+
 
 class TestDevicePlacement:
     def test_tiny_model_maps_on_any_device(self, tiny_model):

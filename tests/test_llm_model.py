@@ -5,8 +5,60 @@ import pytest
 
 from repro.errors import EngineError
 from repro.llm.config import tiny_config
-from repro.llm.model import NPUTransformer, TransformerWeights, reference_forward
+from repro.llm.model import (
+    NPUTransformer,
+    StepCost,
+    TransformerWeights,
+    reference_forward,
+)
 from repro.llm.perplexity import top1_agreement
+from repro.npu.timing import KernelCost
+
+
+class TestStepCost:
+    def test_add_returns_fresh_record(self):
+        a = StepCost(npu=KernelCost(hmx_tile_macs=3), cpu_gemms=[(1, 2, 3)])
+        b = StepCost(npu=KernelCost(hmx_tile_macs=4), cpu_gemms=[(4, 5, 6)])
+        total = a + b
+        assert total is not a and total is not b
+        assert total.npu is not a.npu and total.npu is not b.npu
+        assert total.npu.hmx_tile_macs == 7
+        assert total.cpu_gemms == [(1, 2, 3), (4, 5, 6)]
+        assert a.npu.hmx_tile_macs == 3 and a.cpu_gemms == [(1, 2, 3)]
+        assert b.npu.hmx_tile_macs == 4 and b.cpu_gemms == [(4, 5, 6)]
+
+    def test_add_rejects_foreign_types(self):
+        with pytest.raises(TypeError):
+            StepCost() + 1
+
+    def test_merge_aliasing_regression(self):
+        """merge in expression position aliases the accumulator; summing
+        decode costs with __add__/combined must not double-count."""
+        decode_costs = [StepCost(npu=KernelCost(dma_bytes=100),
+                                 cpu_gemms=[(1, 1, 1)])
+                        for _ in range(3)]
+
+        # the hazard: merge returns self, so the "total" IS the first step
+        alias = decode_costs[0].merge(decode_costs[1])
+        assert alias is decode_costs[0]
+        assert decode_costs[0].npu.dma_bytes == 200  # first record mutated
+
+        # rebuild and accumulate the alias-safe way
+        decode_costs = [StepCost(npu=KernelCost(dma_bytes=100),
+                                 cpu_gemms=[(1, 1, 1)])
+                        for _ in range(3)]
+        total = StepCost()
+        for cost in decode_costs:
+            total = total + cost
+        assert total.npu.dma_bytes == 300
+        assert len(total.cpu_gemms) == 3
+        # every step record is untouched, so re-summing agrees
+        assert all(c.npu.dma_bytes == 100 for c in decode_costs)
+        again = decode_costs[0].combined(*decode_costs[1:])
+        assert again.npu.dma_bytes == 300
+
+    def test_combined_empty(self):
+        assert StepCost().combined().npu.dma_bytes == 0
 
 
 class TestWeightGeneration:

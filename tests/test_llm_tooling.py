@@ -1,6 +1,7 @@
 """Tests for operator placement, checkpoints and the CLI."""
 
 import io
+import json
 import os
 
 import numpy as np
@@ -214,3 +215,47 @@ class TestCLI:
         status, text = self._run(["sweep", "qwen2.5-1.5b", "math500",
                                   "--method", "psychic", "--problems", "30"])
         assert status == 2
+
+    def test_profile_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            self._run(["profile", "--help"])
+        assert excinfo.value.code == 0
+        help_text = capsys.readouterr().out
+        assert "--trace-out" in help_text
+        assert "--workload" in help_text
+
+    def test_profile_unknown_device(self, tmp_path):
+        status, text = self._run([
+            "profile", "--device", "flip_phone",
+            "--trace-out", str(tmp_path / "t.json")])
+        assert status == 2
+        assert "unknown device" in text
+
+    def test_profile_decode_writes_valid_trace(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        report_path = tmp_path / "report.txt"
+        status, text = self._run([
+            "profile", "--batch", "2", "--prompt-tokens", "3",
+            "--new-tokens", "2", "--trace-out", str(trace_path),
+            "--report-out", str(report_path)])
+        assert status == 0
+        with open(trace_path) as handle:
+            trace = json.load(handle)
+        assert trace["traceEvents"]
+        lanes = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e.get("name") == "thread_name"}
+        assert {"HMX", "HVX", "DMA", "CPU"} <= lanes
+        assert "per-kernel simulated time attribution" in text
+        assert "engine utilization" in text
+        assert report_path.read_text() in text
+
+    def test_profile_leaves_global_tracer_untouched(self, tmp_path):
+        from repro.obs import enabled, get_tracer
+
+        before = get_tracer()
+        status, _ = self._run([
+            "profile", "--batch", "2", "--prompt-tokens", "2",
+            "--new-tokens", "2", "--trace-out", str(tmp_path / "t.json")])
+        assert status == 0
+        assert get_tracer() is before
+        assert not enabled()

@@ -79,6 +79,37 @@ class TestKernelCost:
         a.merge(b)
         assert a.hvx_packets == 15 and a.hmx_tile_macs == 2 and a.dma_bytes == 100
 
+    def test_merge_in_expression_position_aliases(self):
+        a = KernelCost(hvx_packets=10)
+        alias = a.merge(KernelCost(hvx_packets=5))
+        assert alias is a  # the documented in-place contract
+
+    def test_add_returns_fresh_record(self):
+        a = KernelCost(hvx_packets=10, dma_bytes=100)
+        b = KernelCost(hvx_packets=5, hmx_tile_macs=2)
+        total = a + b
+        assert total is not a and total is not b
+        assert total.hvx_packets == 15
+        assert total.hmx_tile_macs == 2
+        assert total.dma_bytes == 100
+        # operands untouched
+        assert a.hvx_packets == 10 and a.hmx_tile_macs == 0
+        assert b.hvx_packets == 5 and b.dma_bytes == 0
+
+    def test_add_rejects_foreign_types(self):
+        with pytest.raises(TypeError):
+            KernelCost() + 1
+
+    def test_combined_is_alias_safe(self):
+        a = KernelCost(hvx_packets=1)
+        b = KernelCost(hvx_packets=2)
+        c = KernelCost(hvx_packets=4)
+        total = a.combined(b, c)
+        assert total.hvx_packets == 7
+        assert (a.hvx_packets, b.hvx_packets, c.hvx_packets) == (1, 2, 4)
+        # repeating the sum gives the same answer: nothing accumulated in place
+        assert a.combined(b, c).hvx_packets == 7
+
     def test_scaled(self):
         cost = KernelCost(hvx_packets=10, vgather_instrs=3, dma_bytes=7)
         doubled = cost.scaled(2)

@@ -1,0 +1,164 @@
+"""Tests for the Chrome-trace exporter and text report (repro.obs.export)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.npu.timing import KernelCost, TimingModel, V75
+from repro.obs.export import (
+    ENGINE_LANES,
+    chrome_trace,
+    engine_utilization,
+    text_report,
+    write_chrome_trace,
+)
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def timing():
+    return TimingModel(V75)
+
+
+def make_traced_run() -> Tracer:
+    """A small span tree with costs at two nesting levels."""
+    tracer = Tracer()
+    with tracer.span("engine.decode_step", category="engine") as step:
+        step.set(cpu_seconds=1e-4)
+        with tracer.span("model.forward", category="model") as fwd:
+            with tracer.span("kernel.gemm", category="kernel", m=8) as gemm:
+                gemm.add_cost(KernelCost(hmx_tile_macs=64, hvx_packets=1000,
+                                         dma_bytes=4096))
+            with tracer.span("kernel.softmax", category="kernel") as sm:
+                sm.add_cost(KernelCost(hvx_packets=500, vgather_instrs=8))
+            # aggregate attached at the parent too: must NOT double-count
+            fwd.add_cost(KernelCost(hmx_tile_macs=64, hvx_packets=1500,
+                                    vgather_instrs=8, dma_bytes=4096))
+    return tracer
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self, timing):
+        trace = chrome_trace(make_traced_run(), timing=timing)
+        reloaded = json.loads(json.dumps(trace))
+        assert isinstance(reloaded["traceEvents"], list)
+        assert reloaded["traceEvents"]
+        assert reloaded["displayTimeUnit"] == "ms"
+
+    def test_event_schema(self, timing):
+        trace = chrome_trace(make_traced_run(), timing=timing)
+        for event in trace["traceEvents"]:
+            assert event["ph"] in ("X", "M")
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert event["ts"] >= 0.0
+                assert event["dur"] >= 0.0
+
+    def test_engine_lanes_have_distinct_named_threads(self, timing):
+        trace = chrome_trace(make_traced_run(), timing=timing)
+        names = {e["args"]["name"]: e["tid"] for e in trace["traceEvents"]
+                 if e.get("name") == "thread_name"}
+        for lane in ENGINE_LANES:
+            assert lane in names
+        lane_tids = [names[lane] for lane in ENGINE_LANES]
+        assert len(set(lane_tids)) == len(ENGINE_LANES)
+
+    def test_host_spans_present_with_attrs(self, timing):
+        trace = chrome_trace(make_traced_run(), timing=timing)
+        gemm = [e for e in trace["traceEvents"]
+                if e.get("name") == "kernel.gemm" and e.get("cat") == "kernel"]
+        assert gemm and gemm[0]["args"]["m"] == 8
+
+    def test_private_attrs_filtered(self, timing):
+        tracer = Tracer()
+        with tracer.span("a", _secret=1, public=2):
+            pass
+        trace = chrome_trace(tracer)
+        (event,) = [e for e in trace["traceEvents"] if e.get("name") == "a"]
+        assert "public" in event["args"]
+        assert all(not k.startswith("_") for k in event["args"])
+
+    def test_non_json_attr_values_stringified(self):
+        tracer = Tracer()
+        with tracer.span("a", obj=KernelCost()):
+            pass
+        trace = chrome_trace(tracer)
+        json.dumps(trace)  # must not raise
+
+    def test_leaf_only_pricing_no_double_count(self, timing):
+        """model.forward's aggregate cost must not add engine time."""
+        trace = chrome_trace(make_traced_run(), timing=timing)
+        engine_events = [e for e in trace["traceEvents"]
+                        if e.get("cat") == "sim.engine"]
+        names = {e["name"] for e in engine_events}
+        assert "model.forward" not in names
+        assert "kernel.gemm" in names and "kernel.softmax" in names
+        leaf_cost = KernelCost(hmx_tile_macs=64, hvx_packets=1000,
+                               dma_bytes=4096).combined(
+            KernelCost(hvx_packets=500, vgather_instrs=8))
+        hmx_us = sum(e["dur"] for e in engine_events
+                     if e["args"].get("engine") == "HMX")
+        assert hmx_us == pytest.approx(timing.hmx_seconds(leaf_cost) * 1e6)
+
+    def test_cpu_bar_emitted_after_npu_children(self, timing):
+        trace = chrome_trace(make_traced_run(), timing=timing)
+        engine_events = [e for e in trace["traceEvents"]
+                        if e.get("cat") == "sim.engine"]
+        cpu = [e for e in engine_events if e["args"].get("engine") == "CPU"]
+        npu = [e for e in engine_events if e["args"].get("engine") != "CPU"]
+        assert len(cpu) == 1
+        assert cpu[0]["dur"] == pytest.approx(1e-4 * 1e6)
+        assert cpu[0]["ts"] >= max(e["ts"] for e in npu)
+
+    def test_without_timing_no_engine_events(self):
+        trace = chrome_trace(make_traced_run())
+        assert not any(e.get("cat") == "sim.engine"
+                       for e in trace["traceEvents"])
+
+    def test_write_chrome_trace_creates_loadable_file(self, timing, tmp_path):
+        path = tmp_path / "trace.json"
+        returned = write_chrome_trace(str(path), make_traced_run(),
+                                      timing=timing)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["traceEvents"]
+        assert len(loaded["traceEvents"]) == len(returned["traceEvents"])
+
+
+class TestEngineUtilization:
+    def test_fractions_in_unit_interval(self, timing):
+        trace = chrome_trace(make_traced_run(), timing=timing)
+        util = engine_utilization(trace)
+        assert set(util) == set(ENGINE_LANES)
+        for fraction in util.values():
+            assert 0.0 <= fraction <= 1.0
+        assert util["HVX"] > 0.0
+
+    def test_raises_without_engine_events(self):
+        trace = chrome_trace(make_traced_run())  # no timing model
+        with pytest.raises(ObservabilityError):
+            engine_utilization(trace)
+
+
+class TestTextReport:
+    def test_contains_tree_and_attribution(self, timing):
+        report = text_report(make_traced_run(), timing=timing)
+        assert "span tree" in report
+        assert "per-kernel simulated time attribution" in report
+        assert "engine.decode_step" in report
+        assert "kernel.gemm" in report
+        # leaf-only: the aggregate carrier is not an attribution row
+        attribution = report.split("attribution")[1]
+        assert "model.forward" not in attribution
+
+    def test_empty_tracer_message(self):
+        assert "empty" in text_report(Tracer())
+
+    def test_without_timing_skips_attribution(self):
+        report = text_report(make_traced_run())
+        assert "span tree" in report
+        assert "attribution" not in report

@@ -1,0 +1,170 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("repro.test.count")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(4.5)
+        assert c.value == pytest.approx(5.5)
+
+    def test_rejects_negative_increment(self):
+        c = Counter("repro.test.count")
+        with pytest.raises(ObservabilityError):
+            c.inc(-1)
+        assert c.value == 0.0
+
+    def test_snapshot(self):
+        c = Counter("repro.test.count")
+        c.inc(3)
+        assert c.snapshot() == {"type": "counter", "value": 3.0}
+
+
+class TestGauge:
+    def test_set_tracks_last_and_max(self):
+        g = Gauge("repro.test.gauge")
+        g.set(10)
+        g.set(3)
+        assert g.value == 3.0
+        assert g.max_value == 10
+
+    def test_max_of_negative_values_is_first_seen(self):
+        g = Gauge("repro.test.gauge")
+        g.set(-5)
+        assert g.max_value == -5  # not the 0.0 initializer
+        g.set(-2)
+        assert g.max_value == -2
+
+    def test_snapshot(self):
+        g = Gauge("repro.test.gauge")
+        g.set(7)
+        assert g.snapshot() == {"type": "gauge", "value": 7.0, "max": 7}
+
+
+class TestHistogram:
+    def test_rejects_bad_buckets(self):
+        for bad in ([], [2.0, 1.0], [1.0, 1.0]):
+            with pytest.raises(ObservabilityError):
+                Histogram("repro.test.h", buckets=bad)
+
+    def test_count_mean_min_max(self):
+        h = Histogram("repro.test.h", buckets=[1.0, 10.0, 100.0])
+        for v in (0.5, 5.0, 50.0, 51.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx((0.5 + 5.0 + 50.0 + 51.0) / 4)
+        assert h.min == 0.5
+        assert h.max == 51.0
+
+    def test_quantiles_of_uniform_samples(self):
+        h = Histogram("repro.test.h",
+                      buckets=[float(b) for b in range(10, 101, 10)])
+        for v in range(1, 101):
+            h.observe(float(v))
+        # interpolated quantiles land within one bucket of the true value
+        assert h.quantile(0.50) == pytest.approx(50.0, abs=10.0)
+        assert h.quantile(0.95) == pytest.approx(95.0, abs=10.0)
+        assert h.quantile(0.99) == pytest.approx(99.0, abs=10.0)
+        assert h.quantile(0.0) == pytest.approx(h.min, abs=10.0)
+        assert h.quantile(1.0) == pytest.approx(h.max)
+
+    def test_quantile_single_sample(self):
+        h = Histogram("repro.test.h", buckets=[1.0, 2.0])
+        h.observe(1.5)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(1.5)
+
+    def test_quantile_bounds_checked(self):
+        h = Histogram("repro.test.h", buckets=[1.0])
+        with pytest.raises(ObservabilityError):
+            h.quantile(1.5)
+
+    def test_empty_histogram_summary(self):
+        h = Histogram("repro.test.h", buckets=[1.0])
+        summary = h.summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+        assert summary["p99"] == 0.0
+
+    def test_values_beyond_last_bucket_counted(self):
+        h = Histogram("repro.test.h", buckets=[1.0])
+        h.observe(100.0)
+        assert h.count == 1
+        assert h.quantile(0.5) == pytest.approx(100.0)
+
+    def test_default_buckets_cover_latency_range(self):
+        h = Histogram("repro.test.h")
+        h.observe(3e-6)
+        h.observe(2.0)
+        assert h.count == 2
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro.a.x") is reg.counter("repro.a.x")
+        assert reg.gauge("repro.a.y") is reg.gauge("repro.a.y")
+        assert reg.histogram("repro.a.z") is reg.histogram("repro.a.z")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.a.x")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("repro.a.x")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            reg.counter("")
+        with pytest.raises(ObservabilityError):
+            reg.counter("has space")
+
+    def test_snapshot_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.b.count").inc(2)
+        reg.gauge("repro.a.gauge").set(1)
+        snap = reg.snapshot()
+        assert list(snap) == ["repro.a.gauge", "repro.b.count"]
+        assert snap["repro.b.count"]["type"] == "counter"
+        assert snap["repro.a.gauge"]["type"] == "gauge"
+
+    def test_reset_clears(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.a.x").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+        assert reg.counter("repro.a.x").value == 0.0
+
+
+class TestGlobalDefault:
+    def test_set_metrics_swaps_and_returns_previous(self):
+        mine = MetricsRegistry()
+        previous = obs_metrics.set_metrics(mine)
+        try:
+            assert obs_metrics.get_metrics() is mine
+            obs_metrics.counter("repro.test.global").inc()
+            assert mine.snapshot()["repro.test.global"]["value"] == 1.0
+        finally:
+            assert obs_metrics.set_metrics(previous) is mine
+
+    def test_module_level_helpers_use_default(self):
+        mine = MetricsRegistry()
+        previous = obs_metrics.set_metrics(mine)
+        try:
+            obs_metrics.gauge("repro.test.g").set(2)
+            obs_metrics.histogram("repro.test.h").observe(1.0)
+            snap = mine.snapshot()
+            assert snap["repro.test.g"]["value"] == 2.0
+            assert snap["repro.test.h"]["count"] == 1
+        finally:
+            obs_metrics.set_metrics(previous)
