@@ -40,7 +40,7 @@ def pytest_terminal_summary(terminalreporter):
              "fig14", "fig15", "fig16", "fig17",
              "ablation_patch", "ablation_lut_size", "ablation_coalesce",
              "ablation_lm_head", "ablation_tmac", "ablation_energy",
-             "ablation_prefill"]
+             "ablation_prefill", "scheduler_waves"]
     for eid in order:
         if eid in _RESULTS:
             terminalreporter.write_line("")

@@ -61,6 +61,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "(e.g. oneplus_12 for the V75 NPU)")
     profile.add_argument("--batch", type=int, default=8,
                          help="decode batch size / candidate count")
+    profile.add_argument("--scheduler", action="store_true",
+                         help="decode through the continuous-batching "
+                              "scheduler over a paged KV cache (waved "
+                              "Best-of-N; --candidates may exceed --batch)")
+    profile.add_argument("--candidates", type=int, default=None,
+                         help="total candidate count for --scheduler "
+                              "(default: 2x batch to show slot backfill)")
     profile.add_argument("--prompt-tokens", type=int, default=8)
     profile.add_argument("--new-tokens", type=int, default=8)
     profile.add_argument("--trace-out", default="repro_trace.json",
@@ -163,7 +170,8 @@ def _cmd_sweep(model: str, dataset: str, method: str, budgets: List[int],
 
 def _cmd_profile(workload: str, device_key: str, batch: int,
                  prompt_tokens: int, new_tokens: int, trace_out: str,
-                 report_out: Optional[str], out) -> int:
+                 report_out: Optional[str], out, scheduler: bool = False,
+                 candidates: Optional[int] = None) -> int:
     from .errors import ObservabilityError, ReproError
     from .harness.report import render_metrics
     from .npu import DEVICES
@@ -194,7 +202,12 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
     set_metrics(registry)
     try:
         if workload == "decode":
-            from .llm import InferenceEngine, NPUTransformer, TransformerWeights
+            from .llm import (
+                ContinuousBatchingScheduler,
+                InferenceEngine,
+                NPUTransformer,
+                TransformerWeights,
+            )
             from .llm.config import tiny_config
 
             config = tiny_config()
@@ -202,19 +215,37 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
             model = NPUTransformer(weights)
             engine = InferenceEngine(
                 model, batch=batch,
-                max_context=prompt_tokens + new_tokens + 1, device=device)
-            result = engine.generate(list(range(1, prompt_tokens + 1)),
-                                     max_new_tokens=new_tokens)
-            out.write(f"generated {result.total_generated_tokens} tokens "
-                      f"across {batch} candidates "
-                      f"({result.n_decode_steps} decode steps)\n")
+                max_context=prompt_tokens + new_tokens + 1, device=device,
+                kv_backend="paged" if scheduler else "contiguous")
+            if scheduler:
+                n_candidates = candidates if candidates is not None \
+                    else 2 * batch
+                sched = ContinuousBatchingScheduler(engine)
+                result = sched.generate(list(range(1, prompt_tokens + 1)),
+                                        n_candidates=n_candidates,
+                                        max_new_tokens=new_tokens)
+                out.write(
+                    f"scheduled {result.total_generated_tokens} tokens "
+                    f"across {n_candidates} candidates on batch {batch} "
+                    f"({result.n_steps} steps, mean live batch "
+                    f"{result.mean_live_batch:.2f}, "
+                    f"{result.n_admissions} admissions, "
+                    f"{result.cow_copies} CoW copies, "
+                    f"peak KV {result.peak_kv_bytes} B, "
+                    f"{result.sim_seconds * 1e3:.3f} ms simulated)\n")
+            else:
+                result = engine.generate(list(range(1, prompt_tokens + 1)),
+                                         max_new_tokens=new_tokens)
+                out.write(f"generated {result.total_generated_tokens} tokens "
+                          f"across {batch} candidates "
+                          f"({result.n_decode_steps} decode steps)\n")
         else:
             from .tts import TaskDataset, budget_sweep, get_model_profile
 
             profile = get_model_profile("qwen2.5-1.5b")
             data = TaskDataset.generate("math500", 50, seed=0)
             budget_sweep("best_of_n", data, profile, budgets=[1, 2, 4],
-                         seed=0)
+                         seed=0, engine_batch=batch if scheduler else None)
     except ReproError as error:
         out.write(f"error: {error}\n")
         return 2
@@ -265,7 +296,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "profile":
         return _cmd_profile(args.workload, args.device, args.batch,
                             args.prompt_tokens, args.new_tokens,
-                            args.trace_out, args.report_out, out)
+                            args.trace_out, args.report_out, out,
+                            scheduler=args.scheduler,
+                            candidates=args.candidates)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -3,15 +3,29 @@
 * :mod:`repro.llm.config` — the evaluated Qwen2.5 / Llama3.2 geometries.
 * :mod:`repro.llm.model` — the GQA transformer on the NPU simulator.
 * :mod:`repro.llm.kv_cache` — batched FP16 KV cache with prompt forking.
+* :mod:`repro.llm.block_pool` — paged KV blocks with copy-on-write forks.
 * :mod:`repro.llm.engine` — prefill / batched decode orchestration.
+* :mod:`repro.llm.scheduler` — continuous-batching (waved Best-of-N) decode.
 * :mod:`repro.llm.sampler` / :mod:`repro.llm.tokenizer` — generation glue.
 * :mod:`repro.llm.perplexity` — PPL and KL metrics for accuracy tables.
 """
 
+from .block_pool import (
+    BlockPool,
+    PagedKVCache,
+    PagedLayerKVCache,
+    QuantizedPagedLayerKVCache,
+)
 from .config import MODEL_CONFIGS, ModelConfig, get_model_config, tiny_config
 from .engine import GenerationResult, InferenceEngine
 from .kv_cache import KVCache, LayerKVCache, QuantizedLayerKVCache
 from .model import NPUTransformer, StepCost, TransformerWeights, reference_forward
+from .scheduler import (
+    ContinuousBatchingScheduler,
+    ScheduledGeneration,
+    WavePlan,
+    plan_waves,
+)
 from .perplexity import mean_kl_divergence, perplexity, top1_agreement
 from .sampler import Sampler, softmax_logits
 from .speculative import SpeculativeDecoder, SpeculativeResult
@@ -22,6 +36,14 @@ __all__ = [
     "ModelConfig",
     "get_model_config",
     "tiny_config",
+    "BlockPool",
+    "PagedKVCache",
+    "PagedLayerKVCache",
+    "QuantizedPagedLayerKVCache",
+    "ContinuousBatchingScheduler",
+    "ScheduledGeneration",
+    "WavePlan",
+    "plan_waves",
     "GenerationResult",
     "InferenceEngine",
     "KVCache",

@@ -39,6 +39,8 @@ class GenerationResult:
     prefill_cost: StepCost
     decode_costs: List[StepCost] = field(default_factory=list)
     n_generated_tokens: List[int] = field(default_factory=list)
+    prompt_tokens: int = 0
+    sim_seconds: float = 0.0
 
     @property
     def n_decode_steps(self) -> int:
@@ -53,29 +55,41 @@ class GenerationResult:
         """Sampled-token count of each candidate sequence, in slot order.
 
         Falls back to sequence lengths when the per-sequence counts were
-        not recorded (results built by hand in tests).
+        not recorded (results built by hand in tests); hand-built
+        sequences may include the prompt, so ``prompt_tokens`` is
+        subtracted in the fallback to keep cost accounting honest.
         """
         if self.n_generated_tokens:
             return list(self.n_generated_tokens)
-        return [len(seq) for seq in self.sequences]
+        return [max(len(seq) - self.prompt_tokens, 0)
+                for seq in self.sequences]
 
 
 class InferenceEngine:
     """Drives an :class:`NPUTransformer` through prefill and batch decode."""
 
     def __init__(self, model: NPUTransformer, batch: int, max_context: int,
-                 device: Optional[Device] = None, n_sessions: int = 1) -> None:
+                 device: Optional[Device] = None, n_sessions: int = 1,
+                 kv_backend: str = "contiguous", kv_dtype: str = "fp16",
+                 kv_block_size: int = 16) -> None:
         if batch <= 0 or max_context <= 0:
             raise EngineError(
                 f"batch/context must be positive, got {batch}/{max_context}")
         if n_sessions <= 0:
             raise EngineError(f"need at least one NPU session, got {n_sessions}")
+        if kv_backend not in ("contiguous", "paged"):
+            raise EngineError(
+                f"unknown KV backend {kv_backend!r}; "
+                "expected 'contiguous' or 'paged'")
         self.model = model
         self.batch = batch
         self.max_context = max_context
         self.device = device
         self.n_sessions = n_sessions
-        self.cache: KVCache = model.new_cache(batch, max_context)
+        self.kv_backend = kv_backend
+        self.kv_dtype = kv_dtype
+        self.kv_block_size = kv_block_size
+        self.cache = self._build_cache()
         self.heap: Optional[MultiSessionHeap] = None
         if device is not None:
             self._map_buffers(device)
@@ -104,9 +118,17 @@ class InferenceEngine:
         self.heap = heap
 
     # ------------------------------------------------------------------
+    def _build_cache(self):
+        if self.kv_backend == "paged":
+            return self.model.new_paged_cache(
+                self.batch, self.max_context, dtype=self.kv_dtype,
+                block_size=self.kv_block_size)
+        return self.model.new_cache(self.batch, self.max_context,
+                                    dtype=self.kv_dtype)
+
     def reset(self) -> None:
         """Drop all cached sequences."""
-        self.cache = self.model.new_cache(self.batch, self.max_context)
+        self.cache = self._build_cache()
 
     def _cpu_seconds(self, cost: StepCost) -> float:
         """CPU time of a step's lm_head GEMMs (0 without a device)."""
@@ -188,7 +210,10 @@ class InferenceEngine:
                             prompt_tokens=len(prompt),
                             max_new_tokens=max_new_tokens,
                             n_candidates=n):
+            wall_start = time.perf_counter()
             last_logits, prefill_cost = self.prefill(prompt, seq=0)
+            prefill_seconds = self._step_seconds(
+                prefill_cost, time.perf_counter() - wall_start)
             if n > 1:
                 with obs_trace.span("engine.fork", category="engine",
                                     n_targets=n - 1):
@@ -201,7 +226,8 @@ class InferenceEngine:
             finished = [eos_id is not None and t == eos_id for t in current]
             result = GenerationResult(sequences=outputs,
                                       prefill_cost=prefill_cost,
-                                      n_generated_tokens=[1] * n)
+                                      n_generated_tokens=[1] * n,
+                                      prompt_tokens=len(prompt))
 
             decode_seconds = 0.0
             for _ in range(max_new_tokens - 1):
@@ -224,6 +250,7 @@ class InferenceEngine:
                         finished[i] = True
 
             self._tokens_counter.inc(result.total_generated_tokens)
+            result.sim_seconds = prefill_seconds + decode_seconds
             if decode_seconds > 0.0:
                 decoded = result.total_generated_tokens - n
                 self._tokens_per_second.set(max(decoded, 0) / decode_seconds)

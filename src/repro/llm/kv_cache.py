@@ -74,6 +74,16 @@ class LayerKVCache:
                 f"(current {int(self.lengths[seq])})")
         self.lengths[seq] = length
 
+    def free(self, seq: int) -> None:
+        """Drop a sequence (contiguous backing keeps its allocation)."""
+        if not 0 <= seq < self.batch:
+            raise EngineError(f"sequence {seq} out of range (batch {self.batch})")
+        self.lengths[seq] = 0
+
+    def nbytes_used(self) -> int:
+        """Allocated storage bytes (contiguous caches preallocate fully)."""
+        return self.keys.nbytes + self.values.nbytes
+
 
 class QuantizedLayerKVCache(LayerKVCache):
     """INT8 per-(token, head) symmetric KV storage (half the memory).
@@ -188,5 +198,10 @@ class KVCache:
         for layer in self.layers:
             layer.truncate(seq, length)
 
+    def free_sequence(self, seq: int) -> None:
+        """Drop one sequence; contiguous backing cannot reclaim its bytes."""
+        for layer in self.layers:
+            layer.free(seq)
+
     def nbytes(self) -> int:
-        return sum(layer.keys.nbytes + layer.values.nbytes for layer in self.layers)
+        return sum(layer.nbytes_used() for layer in self.layers)

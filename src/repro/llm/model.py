@@ -189,6 +189,15 @@ class NPUTransformer:
                        self.config.n_kv_heads, self.config.head_dim,
                        dtype=dtype)
 
+    def new_paged_cache(self, batch: int, capacity: int, dtype: str = "fp16",
+                        block_size: int = 16, pool=None, heap=None):
+        """Block-table KV cache over a shared pool (see ``block_pool``)."""
+        from .block_pool import PagedKVCache
+        return PagedKVCache(self.config.n_layers, batch, capacity,
+                            self.config.n_kv_heads, self.config.head_dim,
+                            dtype=dtype, block_size=block_size, pool=pool,
+                            heap=heap)
+
     # ------------------------------------------------------------------
     # forward pass
     # ------------------------------------------------------------------

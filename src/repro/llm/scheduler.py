@@ -1,0 +1,296 @@
+"""Continuous-batching decode scheduler over the paged KV block pool.
+
+The lock-step :meth:`InferenceEngine.generate` decodes every candidate
+until the *slowest* one finishes: a candidate that hits EOS keeps
+occupying its batch slot (and its KV memory) doing dead work.  This
+scheduler instead drives the engine step-by-step over a
+:class:`~repro.llm.block_pool.PagedKVCache`:
+
+* the prompt is prefilled once and pinned as a block-table snapshot;
+* candidates are admitted into free slots by copy-on-write sharing the
+  prompt blocks (no KV copy);
+* a candidate that terminates (EOS or its token budget) frees its
+  private blocks immediately and the scheduler admits the next pending
+  candidate into the vacated slot *mid-generation* — waved Best-of-N
+  that keeps the NPU batch full until the total candidate budget N is
+  drained, even when N exceeds the engine batch;
+* each step is charged at the *live* batch size through the engine's
+  :class:`~repro.npu.timing.TimingModel` path, so the simulated time
+  reflects the reclaimed slots.
+
+:func:`plan_waves` is the closed-form counterpart used by the TTS layer:
+given candidate lengths it computes the continuous-batching makespan
+versus sequential lock-step waves without running the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import EngineError
+from ..npu.timing import SimClock
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from .block_pool import PagedKVCache
+from .engine import GenerationResult, InferenceEngine
+from .sampler import Sampler
+
+__all__ = ["CandidateOutput", "ScheduledGeneration", "WavePlan",
+           "plan_waves", "ContinuousBatchingScheduler"]
+
+
+@dataclass
+class CandidateOutput:
+    """Lifecycle record of one scheduled candidate."""
+
+    candidate_id: int
+    slot: int
+    tokens: List[int]
+    admitted_step: int
+    finished_step: int
+    finish_reason: str  # "eos" or "length"
+
+
+@dataclass
+class ScheduledGeneration(GenerationResult):
+    """A :class:`GenerationResult` plus continuous-batching bookkeeping."""
+
+    candidates: List[CandidateOutput] = field(default_factory=list)
+    n_steps: int = 0
+    n_admissions: int = 0
+    peak_kv_bytes: int = 0
+    cow_copies: int = 0
+    live_batch_per_step: List[int] = field(default_factory=list)
+
+    @property
+    def mean_live_batch(self) -> float:
+        if not self.live_batch_per_step:
+            return 0.0
+        return sum(self.live_batch_per_step) / len(self.live_batch_per_step)
+
+
+@dataclass(frozen=True)
+class WavePlan:
+    """Makespan of N candidates on a batch-B engine, two disciplines.
+
+    Steps are decode iterations of the whole batch; ``continuous_steps``
+    backfills vacated slots immediately, ``lockstep_steps`` runs
+    ``ceil(N / B)`` sequential waves each gated on its slowest member.
+    """
+
+    n_candidates: int
+    batch: int
+    continuous_steps: int
+    lockstep_steps: int
+    total_token_steps: int
+
+    @property
+    def steps_saved(self) -> int:
+        return self.lockstep_steps - self.continuous_steps
+
+    @property
+    def speedup(self) -> float:
+        if self.continuous_steps == 0:
+            return 1.0
+        return self.lockstep_steps / self.continuous_steps
+
+
+def plan_waves(candidate_tokens: Sequence[int], batch: int) -> WavePlan:
+    """Compare continuous backfill against sequential lock-step waves.
+
+    ``candidate_tokens`` are per-candidate decode lengths in admission
+    order.  The continuous makespan list-schedules each candidate onto
+    the earliest-free slot (greedy, the policy the real scheduler
+    implements); the lock-step makespan sums per-wave maxima.
+    """
+    lengths = [int(n) for n in candidate_tokens]
+    if not lengths or any(n <= 0 for n in lengths):
+        raise EngineError(
+            f"candidate token counts must be positive, got {lengths}")
+    if batch <= 0:
+        raise EngineError(f"batch must be positive, got {batch}")
+    slots = [0] * min(batch, len(lengths))
+    heapq.heapify(slots)
+    makespan = 0
+    for n in lengths:
+        start = heapq.heappop(slots)
+        heapq.heappush(slots, start + n)
+        makespan = max(makespan, start + n)
+    lockstep = sum(max(lengths[i:i + batch])
+                   for i in range(0, len(lengths), batch))
+    return WavePlan(n_candidates=len(lengths), batch=batch,
+                    continuous_steps=makespan, lockstep_steps=lockstep,
+                    total_token_steps=sum(lengths))
+
+
+@dataclass
+class _LiveCandidate:
+    candidate_id: int
+    slot: int
+    tokens: List[int]
+    budget: int
+    admitted_step: int
+
+    @property
+    def last_token(self) -> int:
+        return self.tokens[-1]
+
+
+class ContinuousBatchingScheduler:
+    """Waved Best-of-N decode over an engine with a paged KV cache."""
+
+    def __init__(self, engine: InferenceEngine) -> None:
+        if engine.kv_backend != "paged":
+            raise EngineError(
+                "the continuous-batching scheduler requires an engine with "
+                "kv_backend='paged' (got "
+                f"{engine.kv_backend!r})")
+        self.engine = engine
+        reg = obs_metrics.get_metrics()
+        self._admissions = reg.counter("repro.scheduler.admissions")
+        self._retired = reg.counter("repro.scheduler.retired")
+        self._live_batch = reg.gauge("repro.scheduler.live_batch")
+
+    # ------------------------------------------------------------------
+    def generate(self, prompt: Sequence[int], n_candidates: int,
+                 max_new_tokens: int, sampler: Optional[Sampler] = None,
+                 eos_id: Optional[int] = None,
+                 length_schedule: Optional[Sequence[int]] = None
+                 ) -> ScheduledGeneration:
+        """Decode ``n_candidates`` continuations, backfilling freed slots.
+
+        ``length_schedule`` optionally caps each candidate's decode
+        budget individually (candidate ``i`` gets ``length_schedule[i %
+        len]`` tokens, at most ``max_new_tokens``) — the TTS workload
+        where reasoning chains have heterogeneous lengths.
+        """
+        engine = self.engine
+        if n_candidates <= 0:
+            raise EngineError(
+                f"candidate count must be positive, got {n_candidates}")
+        if max_new_tokens <= 0:
+            raise EngineError(
+                f"max_new_tokens must be positive, got {max_new_tokens}")
+        prompt = list(prompt)
+        if len(prompt) + max_new_tokens > engine.max_context:
+            raise EngineError(
+                f"prompt {len(prompt)} + {max_new_tokens} new tokens exceed "
+                f"context {engine.max_context}")
+        budgets = self._budgets(n_candidates, max_new_tokens, length_schedule)
+        sampler = sampler if sampler is not None else Sampler(temperature=0.8)
+        engine.reset()
+        cache = engine.cache
+        assert isinstance(cache, PagedKVCache)
+        clock = SimClock()
+
+        result = ScheduledGeneration(sequences=[], prefill_cost=None,
+                                     prompt_tokens=len(prompt))
+        with obs_trace.span("scheduler.generate", category="scheduler",
+                            prompt_tokens=len(prompt),
+                            n_candidates=n_candidates,
+                            batch=engine.batch,
+                            max_new_tokens=max_new_tokens):
+            wall = time.perf_counter()
+            last_logits, prefill_cost = engine.prefill(prompt, seq=0)
+            clock.advance(engine._step_seconds(prefill_cost,
+                                               time.perf_counter() - wall))
+            result.prefill_cost = prefill_cost
+            anchor = cache.snapshot_sequence(0)
+            # slot 0 still holds the prompt tokens; the first admission
+            # restores the anchor over it, which is a refcount no-op
+            cache.free_sequence(0)
+
+            free_slots = list(range(engine.batch))
+            live: Dict[int, _LiveCandidate] = {}
+            finished: List[CandidateOutput] = []
+            next_id = 0
+            step = 0
+
+            def admit() -> None:
+                nonlocal next_id
+                while free_slots and next_id < n_candidates:
+                    slot = free_slots.pop(0)
+                    with obs_trace.span("scheduler.admit",
+                                        category="scheduler", slot=slot,
+                                        candidate=next_id, step=step):
+                        cache.restore_sequence(slot, anchor)
+                        token = int(sampler.sample(last_logits))
+                    candidate = _LiveCandidate(
+                        candidate_id=next_id, slot=slot, tokens=[token],
+                        budget=budgets[next_id], admitted_step=step)
+                    next_id += 1
+                    result.n_admissions += 1
+                    self._admissions.inc()
+                    if ((eos_id is not None and token == eos_id)
+                            or candidate.budget == 1):
+                        retire(candidate, "eos" if eos_id is not None
+                               and token == eos_id else "length")
+                    else:
+                        live[slot] = candidate
+
+            def retire(candidate: _LiveCandidate, reason: str) -> None:
+                cache.free_sequence(candidate.slot)
+                live.pop(candidate.slot, None)
+                free_slots.append(candidate.slot)
+                finished.append(CandidateOutput(
+                    candidate_id=candidate.candidate_id,
+                    slot=candidate.slot, tokens=candidate.tokens,
+                    admitted_step=candidate.admitted_step,
+                    finished_step=step, finish_reason=reason))
+                self._retired.inc()
+
+            admit()
+            while live:
+                slots = sorted(live)
+                tokens = [live[s].last_token for s in slots]
+                self._live_batch.set(len(slots))
+                wall = time.perf_counter()
+                with obs_trace.span("scheduler.step", category="scheduler",
+                                    step=step, live_batch=len(slots),
+                                    blocks_in_use=cache.pool.blocks_in_use):
+                    logits, cost = engine.decode_step(tokens, slots)
+                clock.advance(engine._step_seconds(
+                    cost, time.perf_counter() - wall))
+                result.decode_costs.append(cost)
+                result.live_batch_per_step.append(len(slots))
+                step += 1
+                next_tokens = sampler.sample_batch(logits)
+                for i, slot in enumerate(slots):
+                    candidate = live[slot]
+                    token = int(next_tokens[i])
+                    candidate.tokens.append(token)
+                    if eos_id is not None and token == eos_id:
+                        retire(candidate, "eos")
+                    elif len(candidate.tokens) >= candidate.budget:
+                        retire(candidate, "length")
+                admit()
+
+            cache.release_snapshot(anchor)
+            result.n_steps = step
+            result.peak_kv_bytes = cache.pool.peak_bytes
+            result.cow_copies = cache.pool.cow_copies
+            result.sim_seconds = clock.total_seconds
+
+        finished.sort(key=lambda c: c.candidate_id)
+        result.candidates = finished
+        result.sequences = [c.tokens for c in finished]
+        result.n_generated_tokens = [len(c.tokens) for c in finished]
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _budgets(n_candidates: int, max_new_tokens: int,
+                 length_schedule: Optional[Sequence[int]]) -> List[int]:
+        if length_schedule is None:
+            return [max_new_tokens] * n_candidates
+        schedule = [int(b) for b in length_schedule]
+        if not schedule or any(b <= 0 for b in schedule):
+            raise EngineError(
+                f"length schedule entries must be positive, got {schedule}")
+        return [min(schedule[i % len(schedule)], max_new_tokens)
+                for i in range(n_candidates)]

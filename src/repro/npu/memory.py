@@ -277,9 +277,14 @@ class RpcMemHeap:
             raise ValueError(f"VA space must be positive, got {va_space_bytes}")
         self.va_space_bytes = va_space_bytes
         self.buffers: List[SharedBuffer] = []
+        self.peak_mapped_bytes = 0
 
     def mapped_bytes(self) -> int:
         return sum(b.nbytes for b in self.buffers)
+
+    def free_va_bytes(self) -> int:
+        """Remaining VA headroom — what bounds the KV block pool size."""
+        return self.va_space_bytes - self.mapped_bytes()
 
     def alloc(self, nbytes: int, name: str = "rpcmem") -> SharedBuffer:
         if self.mapped_bytes() + nbytes > self.va_space_bytes:
@@ -289,6 +294,8 @@ class RpcMemHeap:
                 f"{self.va_space_bytes / 2**20:.0f} MiB")
         buffer = SharedBuffer(nbytes, name=name)
         self.buffers.append(buffer)
+        self.peak_mapped_bytes = max(self.peak_mapped_bytes,
+                                     self.mapped_bytes())
         if obs_trace.enabled():
             obs_metrics.get_metrics().gauge(
                 "repro.npu.rpcmem_mapped_bytes").set(self.mapped_bytes())
@@ -328,6 +335,14 @@ class MultiSessionHeap:
         """Map an unshardable buffer into the emptiest session."""
         target = min(self.sessions, key=lambda s: s.mapped_bytes())
         return target.alloc(nbytes, name=name)
+
+    def free(self, buffer: SharedBuffer) -> None:
+        """Unmap a buffer from whichever session holds it."""
+        for session in self.sessions:
+            if buffer in session.buffers:
+                session.free(buffer)
+                return
+        raise AddressSpaceError(f"buffer {buffer.name} is not mapped")
 
     def alloc_sharded(self, nbytes: int, name: str = "rpcmem",
                       shards: Optional[int] = None) -> List[SharedBuffer]:

@@ -41,6 +41,7 @@ __all__ = [
     "GENERATIONS",
     "KernelCost",
     "TimingModel",
+    "SimClock",
 ]
 
 TILE_MAC_FLOPS = 2 * TILE_DIM ** 3  # one 32x32x32 tile MAC = 65536 FLOPs
@@ -268,3 +269,25 @@ class TimingModel:
         if seconds <= 0:
             raise NPUError(f"elapsed time must be positive, got {seconds}")
         return flops / seconds / 1e9
+
+
+class SimClock:
+    """Accumulator for simulated seconds along one execution timeline.
+
+    Schedulers advance the clock once per step with the step's simulated
+    latency; ``total_seconds`` is then the makespan of the run on the
+    modelled device, independent of host wall clock.  Negative advances
+    are rejected — simulated time is monotone.
+    """
+
+    def __init__(self) -> None:
+        self.total_seconds = 0.0
+        self.n_advances = 0
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise NPUError(
+                f"cannot advance simulated time by {seconds} seconds")
+        self.total_seconds += seconds
+        self.n_advances += 1
+        return self.total_seconds

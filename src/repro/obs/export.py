@@ -256,6 +256,19 @@ def text_report(source: Union[Tracer, Sequence[Span]],
 
     emit((), 0)
 
+    steps = [s for s in spans
+             if s.category == "scheduler" and s.name == "scheduler.step"]
+    if steps:
+        live = [int(s.attrs.get("live_batch", 0)) for s in steps]
+        blocks = [int(s.attrs.get("blocks_in_use", 0)) for s in steps]
+        admits = sum(1 for s in spans if s.name == "scheduler.admit")
+        lines.append("")
+        lines.append("== continuous-batching scheduler ==")
+        lines.append(f"decode steps       {len(steps)}")
+        lines.append(f"admissions         {admits}")
+        lines.append(f"mean live batch    {sum(live) / len(live):.2f}")
+        lines.append(f"peak KV blocks     {max(blocks)}")
+
     if timing is not None:
         costed: Dict[str, Dict[str, float]] = {}
         for span in _leaf_cost_spans(spans):

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import ScalingError
+from ..llm.scheduler import plan_waves
 from ..obs import trace as obs_trace
 from .reward import RewardModel
 from .tasks import ModelProfile, SampledSolution, TaskDataset, sample_solutions
@@ -31,6 +32,19 @@ class BestOfNResult:
     accuracy: float
     oracle_accuracy: float     # pass@N with a perfect verifier
     mean_tokens_per_problem: float
+    # set when the budget is routed through the continuous-batching
+    # scheduler (engine_batch given): decode-step makespans summed over
+    # problems, per the two batching disciplines of ``plan_waves``.
+    engine_batch: Optional[int] = None
+    scheduled_decode_steps: int = 0
+    lockstep_decode_steps: int = 0
+
+    @property
+    def scheduler_speedup(self) -> float:
+        """Lock-step / continuous makespan ratio (1.0 when not routed)."""
+        if self.scheduled_decode_steps == 0:
+            return 1.0
+        return self.lockstep_decode_steps / self.scheduled_decode_steps
 
 
 def best_of_n_single(solutions: Sequence[SampledSolution],
@@ -44,15 +58,25 @@ def best_of_n_single(solutions: Sequence[SampledSolution],
 
 def evaluate_best_of_n(dataset: TaskDataset, profile: ModelProfile,
                        budget: int, reward: Optional[RewardModel] = None,
-                       seed: int = 0) -> BestOfNResult:
+                       seed: int = 0,
+                       engine_batch: Optional[int] = None) -> BestOfNResult:
     """Run Best-of-N over a dataset and report selection accuracy.
 
     ``budget`` is the number of parallel samples N — the decode batch
     size on the NPU.  ``budget == 1`` degenerates to conventional
     single-sample decoding (the "base" markers of Fig. 10).
+
+    ``engine_batch`` routes budgets larger than the physical decode
+    batch through the continuous-batching discipline: each problem's
+    sampled solution lengths are wave-planned (:func:`plan_waves`) and
+    the makespans accumulated on the result.  The sampling RNG stream
+    is untouched, so accuracy is bit-identical with or without routing.
     """
     if budget <= 0:
         raise ScalingError(f"budget must be positive, got {budget}")
+    if engine_batch is not None and engine_batch <= 0:
+        raise ScalingError(
+            f"engine_batch must be positive, got {engine_batch}")
     reward = reward if reward is not None else RewardModel(seed=seed + 1)
     rng = np.random.default_rng(seed)
     probabilities = profile.solve_probabilities(dataset)
@@ -61,6 +85,8 @@ def evaluate_best_of_n(dataset: TaskDataset, profile: ModelProfile,
     n_correct = 0
     n_oracle = 0
     total_tokens = 0
+    scheduled_steps = 0
+    lockstep_steps = 0
     for problem, p in zip(dataset.problems, probabilities):
         with obs_trace.span("tts.best_of_n.problem", category="tts",
                             problem=problem.problem_id,
@@ -75,7 +101,17 @@ def evaluate_best_of_n(dataset: TaskDataset, profile: ModelProfile,
             if chosen.correct:
                 n_correct += 1
             sp.set(tokens=problem_tokens, correct=chosen.correct)
+            if engine_batch is not None:
+                plan = plan_waves([s.n_tokens for s in solutions],
+                                  batch=engine_batch)
+                scheduled_steps += plan.continuous_steps
+                lockstep_steps += plan.lockstep_steps
+                sp.set(scheduled_steps=plan.continuous_steps,
+                       lockstep_steps=plan.lockstep_steps)
     n = len(dataset.problems)
     return BestOfNResult(dataset=dataset.name, model=profile.name, budget=budget,
                          accuracy=n_correct / n, oracle_accuracy=n_oracle / n,
-                         mean_tokens_per_problem=total_tokens / n)
+                         mean_tokens_per_problem=total_tokens / n,
+                         engine_batch=engine_batch,
+                         scheduled_decode_steps=scheduled_steps,
+                         lockstep_decode_steps=lockstep_steps)

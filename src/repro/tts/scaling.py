@@ -53,12 +53,18 @@ class ScalingCurve:
 
 def budget_sweep(method: str, dataset: TaskDataset, profile: ModelProfile,
                  budgets: Sequence[int] = DEFAULT_BUDGETS,
-                 reward_sigma: float = 0.4, seed: int = 0) -> ScalingCurve:
+                 reward_sigma: float = 0.4, seed: int = 0,
+                 engine_batch: Optional[int] = None) -> ScalingCurve:
     """Evaluate one scaling method across budgets.
 
     The reward model is reseeded per budget so curves are independent
     draws; the task sampling seed also varies per budget to avoid
     correlated noise across the sweep.
+
+    ``engine_batch`` (Best-of-N only) wave-plans budgets that exceed
+    the physical decode batch through the continuous-batching
+    scheduler discipline; the accuracy RNG stream is untouched, so the
+    curve is identical with the routing on or off.
     """
     if method not in SCALING_METHODS:
         raise ScalingError(
@@ -77,7 +83,8 @@ def budget_sweep(method: str, dataset: TaskDataset, profile: ModelProfile,
             with obs_trace.span("tts.budget", category="tts",
                                 method=method, budget=budget):
                 _run_budget(method, dataset, profile, budget, reward_sigma,
-                            seed, i, accuracies, tokens)
+                            seed, i, accuracies, tokens,
+                            engine_batch=engine_batch)
             obs_metrics.get_metrics().counter(
                 "repro.tts.budgets_evaluated").inc()
     return ScalingCurve(method=method, model=profile.name, dataset=dataset.name,
@@ -87,13 +94,14 @@ def budget_sweep(method: str, dataset: TaskDataset, profile: ModelProfile,
 
 def _run_budget(method: str, dataset: TaskDataset, profile: ModelProfile,
                 budget: int, reward_sigma: float, seed: int, i: int,
-                accuracies: List[float], tokens: List[float]) -> None:
+                accuracies: List[float], tokens: List[float],
+                engine_batch: Optional[int] = None) -> None:
     """Evaluate one budget point of a sweep, appending to the curves."""
     run_seed = seed + 1000 * i
     reward = RewardModel(sigma=reward_sigma, seed=run_seed + 1)
     if method == "best_of_n":
         result = evaluate_best_of_n(dataset, profile, budget, reward,
-                                    seed=run_seed)
+                                    seed=run_seed, engine_batch=engine_batch)
         accuracies.append(result.accuracy)
         tokens.append(result.mean_tokens_per_problem)
     elif method == "beam_search":

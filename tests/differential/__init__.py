@@ -1,0 +1,1 @@
+"""Differential tests: paged KV decode vs the contiguous reference."""

@@ -1,0 +1,106 @@
+"""Determinism regressions: same seed, same numbers, every time.
+
+The TTS accuracy pipeline and the decode stack must be exactly
+reproducible from their seeds, and routing budgets through the
+continuous-batching scheduler must not perturb the accuracy RNG stream
+(the routing is pure wave arithmetic over already-sampled lengths).
+"""
+
+import pytest
+
+from repro.llm import ContinuousBatchingScheduler, InferenceEngine, Sampler
+from repro.tts import TaskDataset, budget_sweep, get_model_profile
+
+BUDGETS = [1, 2, 4, 8, 16]
+
+
+@pytest.fixture(scope="module")
+def sweep_inputs():
+    profile = get_model_profile("qwen2.5-1.5b")
+    dataset = TaskDataset.generate("math500", 40, seed=0)
+    return profile, dataset
+
+
+def test_budget_sweep_repeats_bitwise(sweep_inputs):
+    profile, dataset = sweep_inputs
+    first = budget_sweep("best_of_n", dataset, profile, budgets=BUDGETS,
+                         seed=42)
+    second = budget_sweep("best_of_n", dataset, profile, budgets=BUDGETS,
+                          seed=42)
+    assert first.accuracies == second.accuracies
+    assert first.tokens_per_problem == second.tokens_per_problem
+
+
+def test_budget_sweep_unchanged_by_scheduler_routing(sweep_inputs):
+    """Scheduler on/off flips only the makespan bookkeeping."""
+    profile, dataset = sweep_inputs
+    plain = budget_sweep("best_of_n", dataset, profile, budgets=BUDGETS,
+                         seed=42)
+    routed = budget_sweep("best_of_n", dataset, profile, budgets=BUDGETS,
+                          seed=42, engine_batch=8)
+    assert routed.accuracies == plain.accuracies
+    assert routed.tokens_per_problem == plain.tokens_per_problem
+
+
+def test_routed_best_of_n_reports_makespans(sweep_inputs):
+    from repro.tts.best_of_n import evaluate_best_of_n
+
+    profile, dataset = sweep_inputs
+    plain = evaluate_best_of_n(dataset, profile, budget=16, seed=3)
+    routed = evaluate_best_of_n(dataset, profile, budget=16, seed=3,
+                                engine_batch=4)
+    assert routed.accuracy == plain.accuracy
+    assert plain.scheduled_decode_steps == 0
+    assert plain.scheduler_speedup == 1.0
+    assert 0 < routed.scheduled_decode_steps <= routed.lockstep_decode_steps
+    assert routed.scheduler_speedup >= 1.0
+
+
+@pytest.mark.parametrize("backend", ["contiguous", "paged"])
+def test_generate_repeats_bitwise(tiny_model, backend):
+    prompt = [1, 2, 3]
+    runs = []
+    for _ in range(2):
+        engine = InferenceEngine(tiny_model, batch=4, max_context=32,
+                                 kv_backend=backend)
+        runs.append(engine.generate(prompt, max_new_tokens=8,
+                                    sampler=Sampler(temperature=0.9,
+                                                    seed=17)))
+    assert runs[0].sequences == runs[1].sequences
+    assert runs[0].decode_costs == runs[1].decode_costs
+
+
+def test_scheduler_repeats_bitwise(tiny_model):
+    """With a device the step costs are simulated, so even the clock
+    must reproduce exactly."""
+    from repro.npu import DEVICES
+
+    prompt = [1, 2, 3]
+    runs = []
+    for _ in range(2):
+        engine = InferenceEngine(tiny_model, batch=4, max_context=32,
+                                 kv_backend="paged",
+                                 device=DEVICES["oneplus_12"])
+        sched = ContinuousBatchingScheduler(engine)
+        runs.append(sched.generate(prompt, n_candidates=9, max_new_tokens=8,
+                                   sampler=Sampler(temperature=0.9, seed=17),
+                                   length_schedule=[2, 8, 5]))
+    assert runs[0].sequences == runs[1].sequences
+    assert runs[0].sim_seconds == runs[1].sim_seconds
+    assert runs[0].live_batch_per_step == runs[1].live_batch_per_step
+
+
+def test_scheduler_matches_lockstep_when_n_fits_batch(tiny_model):
+    """Scheduler on/off is invisible when N <= batch (no retirement)."""
+    prompt = [1, 2, 3]
+    engine = InferenceEngine(tiny_model, batch=4, max_context=32,
+                             kv_backend="paged")
+    lockstep = engine.generate(prompt, max_new_tokens=8,
+                               sampler=Sampler(temperature=0.9, seed=23))
+    engine2 = InferenceEngine(tiny_model, batch=4, max_context=32,
+                              kv_backend="paged")
+    scheduled = ContinuousBatchingScheduler(engine2).generate(
+        prompt, n_candidates=4, max_new_tokens=8,
+        sampler=Sampler(temperature=0.9, seed=23))
+    assert scheduled.sequences == lockstep.sequences
+    assert scheduled.n_generated_tokens == lockstep.n_generated_tokens

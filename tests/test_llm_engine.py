@@ -114,6 +114,17 @@ class TestGenerate:
                                   prefill_cost=StepCost())
         assert result.tokens_per_candidate() == [3, 1]
 
+    def test_tokens_per_candidate_fallback_subtracts_prompt(self):
+        """Hand-built sequences that include the prompt are not billed
+        for it, and a sequence shorter than the prompt clamps at 0."""
+        from repro.llm.engine import GenerationResult
+        from repro.llm.model import StepCost
+
+        result = GenerationResult(sequences=[[9, 9, 1, 2, 3], [9]],
+                                  prefill_cost=StepCost(),
+                                  prompt_tokens=2)
+        assert result.tokens_per_candidate() == [3, 0]
+
 
 class TestDevicePlacement:
     def test_tiny_model_maps_on_any_device(self, tiny_model):

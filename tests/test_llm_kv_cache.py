@@ -122,3 +122,25 @@ class TestKVCache:
 
     def test_len(self):
         assert len(KVCache(5, 1, 4, 1, 4)) == 5
+
+
+class TestHeapBackedBlockPool:
+    def test_pool_backing_charges_npu_va_space(self):
+        from repro.llm.block_pool import PagedKVCache
+        from repro.npu import DEVICES
+
+        heap = DEVICES["oneplus_ace3"].rpcmem_heap()
+        cache = PagedKVCache(2, 4, 64, 2, 8, heap=heap)
+        assert cache.pool.backing.nbytes == cache.pool.capacity_bytes
+        assert heap.peak_mapped_bytes >= cache.pool.capacity_bytes
+        assert heap.free_va_bytes() == (heap.va_space_bytes
+                                        - heap.mapped_bytes())
+
+    def test_oversized_pool_hits_the_va_wall(self):
+        from repro.errors import AddressSpaceError
+        from repro.llm.block_pool import PagedKVCache
+        from repro.npu import DEVICES
+
+        heap = DEVICES["oneplus_ace3"].rpcmem_heap()  # 2 GiB VA space
+        with pytest.raises(AddressSpaceError):
+            PagedKVCache(2, 8, 10**9, 8, 128, heap=heap)

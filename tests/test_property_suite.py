@@ -159,3 +159,121 @@ class TestSoftmaxProperties:
         out = softmax(scores).astype(np.float64)
         assert np.all(out >= 0)
         assert np.allclose(out.sum(axis=1), 1.0, atol=5e-3)
+
+
+# ----------------------------------------------------------------------
+# paged KV block pool (repro.llm.block_pool)
+# ----------------------------------------------------------------------
+_KV_OP = st.tuples(st.integers(0, 3),   # 0=append 1=fork 2=truncate 3=free
+                   st.integers(0, 3),   # sequence slot
+                   st.integers(1, 9))   # token count / truncate target
+
+
+def _pool_invariants(cache):
+    """Refcount accounting must match the live block tables exactly."""
+    pool = cache.pool
+    refs = {}
+    for layer in cache.layers:
+        for table in layer.tables:
+            for handle in table:
+                refs[handle] = refs.get(handle, 0) + 1
+        for snapshot in getattr(layer, "_snapshots", ()):  # none by default
+            for handle in snapshot:
+                refs[handle] = refs.get(handle, 0) + 1
+        # every table handle is backed by storage and vice versa
+        live_in_layer = {h for table in layer.tables for h in table}
+        assert live_in_layer <= set(layer._storage)
+    assert pool.blocks_in_use == sum(
+        len(layer._storage) for layer in cache.layers)
+    for handle, expected in refs.items():
+        assert pool.refcount(handle) == expected, (
+            f"handle {handle}: pool says {pool.refcount(handle)}, "
+            f"tables say {expected}")
+    assert 0 <= pool.used_bytes <= pool.capacity_bytes
+    assert pool.peak_bytes >= pool.used_bytes
+
+
+class TestBlockPoolProperties:
+    @given(st.lists(_KV_OP, min_size=1, max_size=40),
+           st.integers(0, 2**31 - 1), st.sampled_from(["fp16", "q8"]))
+    @settings(max_examples=30, deadline=None)
+    def test_random_lifecycle_keeps_accounting_exact(self, ops, seed, dtype):
+        """alloc/fork/truncate/free in any order: refcounts == live refs,
+        usage never exceeds the budget, and the pool drains to zero."""
+        from repro.llm.block_pool import PagedKVCache
+        cache = PagedKVCache(2, 4, 64, 2, 4, dtype=dtype, block_size=4)
+        rng = np.random.default_rng(seed)
+        for opcode, seq, amount in ops:
+            length = cache.sequence_length(seq)
+            if opcode == 0 and length + amount <= 64:
+                block = rng.normal(0, 1, (amount, 2, 4)).astype(np.float16)
+                for layer in cache.layers:
+                    layer.append(seq, block, block)
+            elif opcode == 1:
+                cache.fork(seq, [(seq + 1) % 4])
+            elif opcode == 2:
+                cache.truncate(seq, min(amount, length))
+            elif opcode == 3:
+                cache.free_sequence(seq)
+            _pool_invariants(cache)
+        for seq in range(4):
+            cache.free_sequence(seq)
+        assert cache.pool.blocks_in_use == 0
+        assert cache.pool.used_bytes == 0
+
+    @given(st.integers(1, 20), st.integers(1, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_cow_fork_never_aliases_writes(self, prefix, tail, seed):
+        """Divergent appends after a fork leave the source view bitwise
+        intact, for any prefix/block alignment."""
+        from repro.llm.block_pool import PagedKVCache
+        cache = PagedKVCache(1, 4, 64, 2, 4, dtype="fp16", block_size=4)
+        rng = np.random.default_rng(seed)
+        layer = cache[0]
+        block = rng.normal(0, 1, (prefix, 2, 4)).astype(np.float16)
+        layer.append(0, block, block * 0.5)
+        before_k, before_v = (a.copy() for a in layer.view(0))
+        cache.fork(0, [1, 2])
+        for target in (1, 2):
+            divergent = rng.normal(0, 1, (tail, 2, 4)).astype(np.float16)
+            layer.append(target, divergent, divergent)
+        after_k, after_v = layer.view(0)
+        np.testing.assert_array_equal(before_k, after_k)
+        np.testing.assert_array_equal(before_v, after_v)
+        fk1 = layer.view(1)[0]
+        fk2 = layer.view(2)[0]
+        np.testing.assert_array_equal(fk1[:prefix], before_k)
+        np.testing.assert_array_equal(fk2[:prefix], before_k)
+        assert not np.array_equal(fk1[prefix:], fk2[prefix:]) or tail == 0
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_double_free_raises(self, seed):
+        from repro.errors import EngineError
+        from repro.llm.block_pool import BlockPool
+        pool = BlockPool(1024, block_size=4)
+        handle = pool.alloc(64)
+        assert pool.decref(handle)
+        with pytest.raises(EngineError):
+            pool.decref(handle)
+
+    @given(st.integers(1, 6), st.integers(1, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_pool_budget_is_enforced(self, capacity_blocks, appended):
+        """Appending past the byte budget raises instead of overdrawing."""
+        from repro.errors import EngineError
+        from repro.llm.block_pool import BlockPool, PagedLayerKVCache
+        probe = PagedLayerKVCache(1, 256, 2, 4, BlockPool(1, block_size=4))
+        block_bytes = probe.block_nbytes()
+        pool = BlockPool(capacity_blocks * block_bytes, block_size=4)
+        layer = PagedLayerKVCache(1, 256, 2, 4, pool)
+        token = np.zeros((1, 2, 4), np.float16)
+        fits = capacity_blocks * 4
+        try:
+            for _ in range(appended):
+                layer.append(0, token, token)
+        except EngineError:
+            assert appended > fits
+        else:
+            assert appended <= fits
+        assert pool.used_bytes <= pool.capacity_bytes
