@@ -14,6 +14,8 @@ Subpackages:
   ORM/PRM scorers over a calibrated synthetic task environment.
 * :mod:`repro.perf` — latency, power, memory and baseline-system models.
 * :mod:`repro.obs` — span tracing, metrics, Perfetto trace export.
+* :mod:`repro.resilience` — deterministic fault injection and recovery
+  (retry/backoff, KV rebuild, eviction, deadlines, thermal throttling).
 * :mod:`repro.harness` — per-table/figure experiment regeneration.
 
 Quickstart::
@@ -22,7 +24,7 @@ Quickstart::
     print(run_experiment("fig15").render())
 """
 
-from . import errors, kernels, llm, npu, obs, perf, quant, tts
+from . import errors, kernels, llm, npu, obs, perf, quant, resilience, tts
 from . import harness
 
 __version__ = "1.0.0"
@@ -36,6 +38,7 @@ __all__ = [
     "obs",
     "perf",
     "quant",
+    "resilience",
     "tts",
     "__version__",
 ]

@@ -70,6 +70,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: 2x batch to show slot backfill)")
     profile.add_argument("--prompt-tokens", type=int, default=8)
     profile.add_argument("--new-tokens", type=int, default=8)
+    profile.add_argument("--faults", default=None, metavar="SPEC",
+                         help="chaos mode: a deterministic fault plan, e.g. "
+                              "'abort@2,alloc@5,throttle@3:efficiency:4' or "
+                              "'random:42' (see repro.resilience.FaultPlan); "
+                              "requires --scheduler for the decode workload")
+    profile.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-query wall-clock deadline on the "
+                              "simulated timeline; generation degrades to "
+                              "best-answer-so-far when exceeded")
     profile.add_argument("--trace-out", default="repro_trace.json",
                          help="output path of the chrome://tracing JSON")
     profile.add_argument("--report-out", default=None,
@@ -171,7 +180,9 @@ def _cmd_sweep(model: str, dataset: str, method: str, budgets: List[int],
 def _cmd_profile(workload: str, device_key: str, batch: int,
                  prompt_tokens: int, new_tokens: int, trace_out: str,
                  report_out: Optional[str], out, scheduler: bool = False,
-                 candidates: Optional[int] = None) -> int:
+                 candidates: Optional[int] = None,
+                 faults: Optional[str] = None,
+                 deadline_ms: Optional[float] = None) -> int:
     from .errors import ObservabilityError, ReproError
     from .harness.report import render_metrics
     from .npu import DEVICES
@@ -194,6 +205,22 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
         return 2
     device = DEVICES[device_key]
     timing = TimingModel(device.npu)
+
+    fault_plan = None
+    if faults is not None:
+        from .resilience import FaultPlan
+        fault_plan = FaultPlan.parse(faults)
+    if (fault_plan is not None or deadline_ms is not None) and not (
+            workload == "decode" and scheduler):
+        if workload == "decode":
+            out.write("error: --faults/--deadline-ms on the decode workload "
+                      "require --scheduler (recovery lives in the "
+                      "continuous-batching scheduler)\n")
+            return 2
+        if deadline_ms is not None:
+            out.write("error: --deadline-ms only applies to the decode "
+                      "workload (the sweep path is in decode-step units)\n")
+            return 2
 
     tracer = Tracer(enabled=True)
     registry = MetricsRegistry()
@@ -221,9 +248,13 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
                 n_candidates = candidates if candidates is not None \
                     else 2 * batch
                 sched = ContinuousBatchingScheduler(engine)
-                result = sched.generate(list(range(1, prompt_tokens + 1)),
-                                        n_candidates=n_candidates,
-                                        max_new_tokens=new_tokens)
+                result = sched.generate(
+                    list(range(1, prompt_tokens + 1)),
+                    n_candidates=n_candidates,
+                    max_new_tokens=new_tokens,
+                    fault_plan=fault_plan,
+                    deadline_seconds=(deadline_ms / 1e3
+                                      if deadline_ms is not None else None))
                 out.write(
                     f"scheduled {result.total_generated_tokens} tokens "
                     f"across {n_candidates} candidates on batch {batch} "
@@ -233,6 +264,22 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
                     f"{result.cow_copies} CoW copies, "
                     f"peak KV {result.peak_kv_bytes} B, "
                     f"{result.sim_seconds * 1e3:.3f} ms simulated)\n")
+                if fault_plan is not None or deadline_ms is not None:
+                    kind_counts: dict = {}
+                    for record in result.faults:
+                        kind_counts[record.kind] = (
+                            kind_counts.get(record.kind, 0) + 1)
+                    kinds = ", ".join(
+                        f"{k}={v}" for k, v in sorted(kind_counts.items())
+                    ) or "none"
+                    out.write(
+                        f"chaos: faults [{kinds}], {result.n_retries} "
+                        f"retries, {result.n_evictions} evictions, "
+                        f"{result.n_rebuilds} KV rebuilds "
+                        f"({result.rebuilt_tokens} tokens), "
+                        f"{len(result.governor_steps)} governor changes, "
+                        f"deadline hit: {result.deadline_hit}, "
+                        f"degraded: {result.degraded}\n")
             else:
                 result = engine.generate(list(range(1, prompt_tokens + 1)),
                                          max_new_tokens=new_tokens)
@@ -245,7 +292,8 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
             profile = get_model_profile("qwen2.5-1.5b")
             data = TaskDataset.generate("math500", 50, seed=0)
             budget_sweep("best_of_n", data, profile, budgets=[1, 2, 4],
-                         seed=0, engine_batch=batch if scheduler else None)
+                         seed=0, engine_batch=batch if scheduler else None,
+                         fault_plan=fault_plan)
     except ReproError as error:
         out.write(f"error: {error}\n")
         return 2
@@ -279,9 +327,7 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
     return 0
 
 
-def main(argv: Optional[List[str]] = None, out=None) -> int:
-    out = out if out is not None else sys.stdout
-    args = build_parser().parse_args(argv)
+def _dispatch(args, out) -> int:
     if args.command == "experiments":
         return _cmd_experiments(out)
     if args.command == "run":
@@ -298,8 +344,24 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
                             args.prompt_tokens, args.new_tokens,
                             args.trace_out, args.report_out, out,
                             scheduler=args.scheduler,
-                            candidates=args.candidates)
+                            candidates=args.candidates,
+                            faults=args.faults,
+                            deadline_ms=args.deadline_ms)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    from .errors import ReproError
+    try:
+        return _dispatch(args, out)
+    except ReproError as error:
+        # commands catch the errors they can explain; anything that
+        # escapes (a malformed fault spec, an infeasible plan) still
+        # exits with one line instead of a traceback
+        out.write(f"error: {error}\n")
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -74,6 +74,66 @@ class EngineError(ReproError):
     """Raised by the inference engine (scheduling, KV-cache, placement)."""
 
 
+class KVPoolExhausted(EngineError):
+    """Raised when the paged KV block pool cannot satisfy an allocation.
+
+    Real exhaustion happens when the rpcmem budget backing the pool is
+    undersized for the live batch (the Section 7.2.1 VA-space wall seen
+    from the KV cache's side); the fault injector raises it to model
+    transient memory pressure.  The continuous-batching scheduler
+    recovers by evicting the lowest-value candidate and retrying.
+    """
+
+
+class FaultError(ReproError):
+    """Base class for injected faults and resilience-layer failures.
+
+    The :mod:`repro.resilience` fault injector models the deployment
+    hazards of Section 7.2 — FastRPC session plumbing, rpcmem/TCM
+    memory pressure, DVFS/thermal behaviour — as deterministic,
+    seed-scheduled events so recovery paths can be tested exactly.
+    """
+
+
+class TransientFaultError(FaultError):
+    """A fault expected to clear on retry (backoff, no state rebuild)."""
+
+
+class DMATimeoutError(TransientFaultError, DMAError):
+    """An injected DMA descriptor timeout.
+
+    Models a stalled DDR<->TCM transfer under memory-subsystem
+    contention (the DMA engine of Section 3.3); transient — the
+    retry policy re-submits the step after capped backoff.
+    """
+
+
+class SessionAbortError(FaultError):
+    """The FastRPC session to the NPU died mid-operation.
+
+    Models the Section 6 failure mode where the remote Hexagon session
+    is torn down (driver restart, SSR, process kill): all NPU-side
+    mappings and state are lost.  Recovery requires
+    :meth:`~repro.npu.soc.FastRPCSession.reopen` and a rebuild of
+    NPU-resident state from host-side snapshots.
+    """
+
+
+class RetryExhaustedError(FaultError):
+    """A retried operation kept faulting past the policy's retry cap."""
+
+
+class DeadlineExceeded(ReproError):
+    """A per-query wall-clock deadline elapsed on the simulated clock.
+
+    Test-time scaling trades latency for accuracy (§2, §7.1); a serving
+    deployment bounds that trade with a deadline.  The scheduler and
+    the TTS layer degrade to best-answer-so-far rather than raising
+    this out of a query; it escapes only when a single step cannot fit
+    the budget at all.
+    """
+
+
 class ScalingError(ReproError):
     """Raised by the test-time-scaling layer (bad budget, empty beams)."""
 

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import EngineError
+from ..errors import EngineError, KVPoolExhausted
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from .kv_cache import QuantizedLayerKVCache
@@ -78,6 +78,9 @@ class BlockPool:
         self.peak_bytes = 0
         self.cow_copies = 0
         self.total_allocated = 0
+        # optional repro.resilience.FaultInjector; fires alloc_fail
+        # events at the "kv_pool.alloc" site when set
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     @property
@@ -102,10 +105,17 @@ class BlockPool:
         """Allocate one block of ``nbytes`` with refcount 1."""
         if nbytes <= 0:
             raise EngineError(f"block bytes must be positive, got {nbytes}")
+        if self.fault_injector is not None:
+            self.fault_injector.maybe_raise(
+                "kv_pool.alloc",
+                detail=f"requested {nbytes} bytes, {self.free_bytes()} free "
+                       f"of {self.capacity_bytes}, peak {self.peak_bytes}, "
+                       f"{self.blocks_in_use} blocks live")
         if self.used_bytes + nbytes > self.capacity_bytes:
-            raise EngineError(
+            raise KVPoolExhausted(
                 f"KV block pool exhausted: need {nbytes} bytes, "
-                f"{self.free_bytes()} free of {self.capacity_bytes}")
+                f"{self.free_bytes()} free of {self.capacity_bytes}, "
+                f"peak {self.peak_bytes}, {self.blocks_in_use} blocks live")
         handle = self._next_handle
         self._next_handle += 1
         self._refcounts[handle] = 1

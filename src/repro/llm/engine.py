@@ -21,6 +21,7 @@ import numpy as np
 
 from ..errors import EngineError
 from ..npu.memory import MultiSessionHeap, RpcMemHeap
+from ..npu.power_mgmt import GOVERNORS, PowerGovernor, apply_governor
 from ..npu.soc import Device
 from ..npu.timing import TimingModel
 from ..obs import metrics as obs_metrics
@@ -93,6 +94,7 @@ class InferenceEngine:
         self.heap: Optional[MultiSessionHeap] = None
         if device is not None:
             self._map_buffers(device)
+        self.governor: PowerGovernor = GOVERNORS["performance"]
         self._timing = TimingModel(device.npu) if device is not None else None
         reg = obs_metrics.get_metrics()
         self._tokens_counter = reg.counter("repro.engine.generated_tokens")
@@ -130,6 +132,27 @@ class InferenceEngine:
         """Drop all cached sequences."""
         self.cache = self._build_cache()
 
+    def set_governor(self, governor: "PowerGovernor | str") -> PowerGovernor:
+        """Move the NPU session to a DVFS operating point (§7.2.3).
+
+        Thermal throttling events force the governor down; the timing
+        model is rebuilt from the rescaled generation parameters so
+        every subsequent step cost reflects the lower clock.  Returns
+        the governor that was active before the change.
+        """
+        previous = self.governor
+        if isinstance(governor, str):
+            if governor not in GOVERNORS:
+                raise EngineError(
+                    f"unknown governor {governor!r}; "
+                    f"known: {sorted(GOVERNORS)}")
+            governor = GOVERNORS[governor]
+        self.governor = governor
+        if self.device is not None:
+            self._timing = TimingModel(
+                apply_governor(self.device.npu, governor))
+        return previous
+
     def _cpu_seconds(self, cost: StepCost) -> float:
         """CPU time of a step's lm_head GEMMs (0 without a device)."""
         if self.device is None:
@@ -138,9 +161,15 @@ class InferenceEngine:
                    for m, k, n in cost.cpu_gemms)
 
     def _step_seconds(self, cost: StepCost, wall_seconds: float) -> float:
-        """Simulated step latency, or host wall clock without a device."""
+        """Simulated step latency, or host wall clock without a device.
+
+        Without a device the host wall clock stands in for step time;
+        a throttled governor stretches it by the inverse clock scale so
+        chaos runs still see slower steps (performance mode divides by
+        1.0 and is bitwise neutral).
+        """
         if self._timing is None:
-            return wall_seconds
+            return wall_seconds / self.governor.clock_scale
         return self._timing.seconds(cost.npu) + self._cpu_seconds(cost)
 
     def prefill(self, prompt: Sequence[int], seq: int = 0) -> "tuple[np.ndarray, StepCost]":
@@ -168,6 +197,29 @@ class InferenceEngine:
         if targets is None:
             targets = [i for i in range(self.batch) if i != source]
         self.cache.fork(source, targets)
+
+    def rebuild_sequence(self, slot: int, tokens: Sequence[int]
+                         ) -> Optional[StepCost]:
+        """Recompute the KV entries of already-sampled tokens (recovery).
+
+        After a session abort destroys NPU-side KV state, the scheduler
+        restores the prompt prefix from a block-pool snapshot and calls
+        this to re-prefill the candidate's decoded tokens into ``slot``.
+        The forward pass is deterministic, so the rebuilt KV continues
+        the sequence exactly; the sampler is never consulted (the
+        tokens are already chosen).  Returns the re-prefill cost, or
+        ``None`` when there is nothing to rebuild.
+        """
+        tokens = [int(t) for t in tokens]
+        if not tokens:
+            return None
+        token_arr = np.asarray(tokens, dtype=np.int64)[np.newaxis, :]
+        with obs_trace.span("engine.rebuild_sequence", category="engine",
+                            slot=slot, n_tokens=len(tokens)) as sp:
+            _, cost = self.model.forward(token_arr, self.cache,
+                                         sequences=[slot])
+            sp.set(cpu_seconds=self._cpu_seconds(cost))
+        return cost
 
     def decode_step(self, tokens: Sequence[int],
                     sequences: Optional[List[int]] = None

@@ -28,14 +28,22 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import EngineError
+from ..errors import (
+    DMATimeoutError,
+    EngineError,
+    KVPoolExhausted,
+    SessionAbortError,
+    TransientFaultError,
+)
 from ..npu.timing import SimClock
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..resilience.faults import FaultInjector, FaultPlan, FaultRecord
+from ..resilience.recovery import RetryPolicy
 from .block_pool import PagedKVCache
 from .engine import GenerationResult, InferenceEngine
 from .sampler import Sampler
@@ -58,7 +66,11 @@ class CandidateOutput:
 
 @dataclass
 class ScheduledGeneration(GenerationResult):
-    """A :class:`GenerationResult` plus continuous-batching bookkeeping."""
+    """A :class:`GenerationResult` plus continuous-batching bookkeeping.
+
+    The resilience fields are all zero/empty when no fault plan and no
+    deadline were given — the chaos path is never entered in that case.
+    """
 
     candidates: List[CandidateOutput] = field(default_factory=list)
     n_steps: int = 0
@@ -66,12 +78,24 @@ class ScheduledGeneration(GenerationResult):
     peak_kv_bytes: int = 0
     cow_copies: int = 0
     live_batch_per_step: List[int] = field(default_factory=list)
+    faults: List[FaultRecord] = field(default_factory=list)
+    n_retries: int = 0
+    n_evictions: int = 0
+    n_rebuilds: int = 0
+    rebuilt_tokens: int = 0
+    deadline_hit: bool = False
+    degraded: bool = False
+    governor_steps: List[Tuple[int, str]] = field(default_factory=list)
 
     @property
     def mean_live_batch(self) -> float:
         if not self.live_batch_per_step:
             return 0.0
         return sum(self.live_batch_per_step) / len(self.live_batch_per_step)
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.faults)
 
 
 @dataclass(frozen=True)
@@ -155,12 +179,18 @@ class ContinuousBatchingScheduler:
         self._admissions = reg.counter("repro.scheduler.admissions")
         self._retired = reg.counter("repro.scheduler.retired")
         self._live_batch = reg.gauge("repro.scheduler.live_batch")
+        self._step_retries = reg.counter("repro.resilience.step_retries")
+        self._evictions = reg.counter("repro.resilience.evictions")
+        self._rebuilds = reg.counter("repro.resilience.rebuilds")
 
     # ------------------------------------------------------------------
     def generate(self, prompt: Sequence[int], n_candidates: int,
                  max_new_tokens: int, sampler: Optional[Sampler] = None,
                  eos_id: Optional[int] = None,
-                 length_schedule: Optional[Sequence[int]] = None
+                 length_schedule: Optional[Sequence[int]] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 deadline_seconds: Optional[float] = None,
+                 retry_policy: Optional[RetryPolicy] = None
                  ) -> ScheduledGeneration:
         """Decode ``n_candidates`` continuations, backfilling freed slots.
 
@@ -168,6 +198,19 @@ class ContinuousBatchingScheduler:
         budget individually (candidate ``i`` gets ``length_schedule[i %
         len]`` tokens, at most ``max_new_tokens``) — the TTS workload
         where reasoning chains have heterogeneous lengths.
+
+        ``fault_plan`` arms a deterministic :class:`FaultInjector` over
+        the run: session aborts and DMA timeouts are retried with
+        backoff charged to the :class:`SimClock` (aborts additionally
+        pay a reopen penalty and rebuild every live candidate's KV from
+        the prompt anchor snapshot), allocation failures evict the
+        least-progressed candidate, and thermal throttling downgrades
+        the engine's DVFS governor for ``duration_steps``.  An empty or
+        ``None`` plan leaves the decode loop bitwise identical to the
+        non-resilient path.  ``deadline_seconds`` bounds simulated
+        wall-clock: once exceeded, live candidates retire with their
+        tokens so far (``finish_reason="deadline"``) and no further
+        candidates are admitted.
         """
         engine = self.engine
         if n_candidates <= 0:
@@ -183,6 +226,10 @@ class ContinuousBatchingScheduler:
                 f"context {engine.max_context}")
         budgets = self._budgets(n_candidates, max_new_tokens, length_schedule)
         sampler = sampler if sampler is not None else Sampler(temperature=0.8)
+        injector: Optional[FaultInjector] = None
+        if fault_plan is not None and len(fault_plan) > 0:
+            injector = FaultInjector(fault_plan)
+        policy = retry_policy if retry_policy is not None else RetryPolicy()
         engine.reset()
         cache = engine.cache
         assert isinstance(cache, PagedKVCache)
@@ -190,97 +237,265 @@ class ContinuousBatchingScheduler:
 
         result = ScheduledGeneration(sequences=[], prefill_cost=None,
                                      prompt_tokens=len(prompt))
-        with obs_trace.span("scheduler.generate", category="scheduler",
-                            prompt_tokens=len(prompt),
-                            n_candidates=n_candidates,
-                            batch=engine.batch,
-                            max_new_tokens=max_new_tokens):
-            wall = time.perf_counter()
-            last_logits, prefill_cost = engine.prefill(prompt, seq=0)
-            clock.advance(engine._step_seconds(prefill_cost,
-                                               time.perf_counter() - wall))
-            result.prefill_cost = prefill_cost
-            anchor = cache.snapshot_sequence(0)
-            # slot 0 still holds the prompt tokens; the first admission
-            # restores the anchor over it, which is a refcount no-op
-            cache.free_sequence(0)
+        base_governor = engine.governor
+        try:
+            with obs_trace.span("scheduler.generate", category="scheduler",
+                                prompt_tokens=len(prompt),
+                                n_candidates=n_candidates,
+                                batch=engine.batch,
+                                max_new_tokens=max_new_tokens):
+                self._run(engine, cache, clock, prompt, n_candidates,
+                          budgets, sampler, eos_id, injector, policy,
+                          deadline_seconds, base_governor, result)
+        finally:
+            if injector is not None:
+                cache.pool.fault_injector = None
+                engine.set_governor(base_governor)
+        if injector is not None:
+            result.faults = list(injector.injected)
+        return result
 
-            free_slots = list(range(engine.batch))
-            live: Dict[int, _LiveCandidate] = {}
-            finished: List[CandidateOutput] = []
-            next_id = 0
-            step = 0
+    # ------------------------------------------------------------------
+    def _run(self, engine: InferenceEngine, cache: PagedKVCache,
+             clock: SimClock, prompt: List[int], n_candidates: int,
+             budgets: List[int], sampler: Sampler, eos_id: Optional[int],
+             injector: Optional[FaultInjector], policy: RetryPolicy,
+             deadline_seconds: Optional[float], base_governor,
+             result: ScheduledGeneration) -> None:
+        wall = time.perf_counter()
+        last_logits, prefill_cost = engine.prefill(prompt, seq=0)
+        clock.advance(engine._step_seconds(prefill_cost,
+                                           time.perf_counter() - wall))
+        result.prefill_cost = prefill_cost
+        anchor = cache.snapshot_sequence(0)
+        # slot 0 still holds the prompt tokens; the first admission
+        # restores the anchor over it, which is a refcount no-op
+        cache.free_sequence(0)
+        if injector is not None:
+            # armed only once the serving loop (and its recovery paths)
+            # owns the pool: prefill is the run's precondition, not a
+            # recoverable step
+            cache.pool.fault_injector = injector
 
-            def admit() -> None:
-                nonlocal next_id
-                while free_slots and next_id < n_candidates:
-                    slot = free_slots.pop(0)
-                    with obs_trace.span("scheduler.admit",
-                                        category="scheduler", slot=slot,
-                                        candidate=next_id, step=step):
-                        cache.restore_sequence(slot, anchor)
-                        token = int(sampler.sample(last_logits))
-                    candidate = _LiveCandidate(
-                        candidate_id=next_id, slot=slot, tokens=[token],
-                        budget=budgets[next_id], admitted_step=step)
-                    next_id += 1
-                    result.n_admissions += 1
-                    self._admissions.inc()
-                    if ((eos_id is not None and token == eos_id)
-                            or candidate.budget == 1):
-                        retire(candidate, "eos" if eos_id is not None
-                               and token == eos_id else "length")
-                    else:
-                        live[slot] = candidate
+        free_slots = list(range(engine.batch))
+        live: Dict[int, _LiveCandidate] = {}
+        finished: List[CandidateOutput] = []
+        next_id = 0
+        step = 0
+        admitting = True
+        throttle_restore_step: Optional[int] = None
 
-            def retire(candidate: _LiveCandidate, reason: str) -> None:
-                cache.free_sequence(candidate.slot)
-                live.pop(candidate.slot, None)
-                free_slots.append(candidate.slot)
-                finished.append(CandidateOutput(
-                    candidate_id=candidate.candidate_id,
-                    slot=candidate.slot, tokens=candidate.tokens,
-                    admitted_step=candidate.admitted_step,
-                    finished_step=step, finish_reason=reason))
-                self._retired.inc()
+        def admit() -> None:
+            nonlocal next_id
+            while admitting and free_slots and next_id < n_candidates:
+                slot = free_slots.pop(0)
+                with obs_trace.span("scheduler.admit",
+                                    category="scheduler", slot=slot,
+                                    candidate=next_id, step=step):
+                    cache.restore_sequence(slot, anchor)
+                    token = int(sampler.sample(last_logits))
+                candidate = _LiveCandidate(
+                    candidate_id=next_id, slot=slot, tokens=[token],
+                    budget=budgets[next_id], admitted_step=step)
+                next_id += 1
+                result.n_admissions += 1
+                self._admissions.inc()
+                if ((eos_id is not None and token == eos_id)
+                        or candidate.budget == 1):
+                    retire(candidate, "eos" if eos_id is not None
+                           and token == eos_id else "length")
+                else:
+                    live[slot] = candidate
 
-            admit()
+        def retire(candidate: _LiveCandidate, reason: str) -> None:
+            cache.free_sequence(candidate.slot)
+            live.pop(candidate.slot, None)
+            free_slots.append(candidate.slot)
+            finished.append(CandidateOutput(
+                candidate_id=candidate.candidate_id,
+                slot=candidate.slot, tokens=candidate.tokens,
+                admitted_step=candidate.admitted_step,
+                finished_step=step, finish_reason=reason))
+            self._retired.inc()
+
+        def rebuild_live() -> None:
+            # The paged cache may be in an inconsistent mid-forward
+            # state after an abort; restoring the prompt anchor and
+            # re-forwarding each candidate's already-sampled prefix
+            # rebuilds exact KV without consuming any sampler RNG.
+            for slot in sorted(live):
+                candidate = live[slot]
+                prefix = candidate.tokens[:-1]
+                with obs_trace.span("resilience.rebuild",
+                                    category="resilience", slot=slot,
+                                    candidate=candidate.candidate_id,
+                                    tokens=len(prefix), step=step):
+                    cache.free_sequence(slot)
+                    cache.restore_sequence(slot, anchor)
+                    if prefix:
+                        w = time.perf_counter()
+                        cost = engine.rebuild_sequence(slot, prefix)
+                        if cost is not None:
+                            clock.advance(engine._step_seconds(
+                                cost, time.perf_counter() - w))
+                result.n_rebuilds += 1
+                result.rebuilt_tokens += len(prefix)
+                self._rebuilds.inc()
+
+        def evict_one() -> bool:
+            if not live:
+                return False
+            # lowest-value candidate: least decoded progress, breaking
+            # ties toward the most recently admitted (highest id)
+            victim = min(live.values(),
+                         key=lambda c: (len(c.tokens), -c.candidate_id))
+            with obs_trace.span("resilience.evict", category="resilience",
+                                candidate=victim.candidate_id,
+                                slot=victim.slot, tokens=len(victim.tokens),
+                                step=step):
+                retire(victim, "evicted")
+            result.n_evictions += 1
+            self._evictions.inc()
+            return True
+
+        def degrade(reason: str) -> None:
+            result.degraded = True
+            with obs_trace.span("resilience.degrade", category="resilience",
+                                reason=reason, live=len(live), step=step):
+                for slot in sorted(live):
+                    retire(live[slot], reason)
+
+        def note_retry(kind: str, seconds: float) -> None:
+            result.n_retries += 1
+            self._step_retries.inc()
+            with obs_trace.span("resilience.retry", category="resilience",
+                                kind=kind, step=step,
+                                backoff_ms=seconds * 1e3):
+                clock.advance(seconds)
+
+        admit()
+        while live:
+            arm_abort = arm_dma = arm_alloc = 0
+            if injector is not None:
+                if (throttle_restore_step is not None
+                        and step >= throttle_restore_step):
+                    engine.set_governor(base_governor)
+                    throttle_restore_step = None
+                    result.governor_steps.append((step, base_governor.name))
+                for event in injector.step_events(step):
+                    if event.kind == "thermal_throttle":
+                        engine.set_governor(event.governor)
+                        result.governor_steps.append((step, event.governor))
+                        if event.duration_steps is not None:
+                            throttle_restore_step = (step
+                                                     + event.duration_steps)
+                        with obs_trace.span("resilience.throttle",
+                                            category="resilience",
+                                            governor=event.governor,
+                                            step=step,
+                                            duration=event.duration_steps):
+                            pass
+                    elif event.kind == "session_abort":
+                        arm_abort += 1
+                    elif event.kind == "dma_timeout":
+                        arm_dma += 1
+                    else:  # alloc_fail
+                        arm_alloc += 1
+            attempt = 0
+            needs_rebuild = False
             while live:
-                slots = sorted(live)
-                tokens = [live[s].last_token for s in slots]
-                self._live_batch.set(len(slots))
-                wall = time.perf_counter()
-                with obs_trace.span("scheduler.step", category="scheduler",
-                                    step=step, live_batch=len(slots),
-                                    blocks_in_use=cache.pool.blocks_in_use):
-                    logits, cost = engine.decode_step(tokens, slots)
-                clock.advance(engine._step_seconds(
-                    cost, time.perf_counter() - wall))
-                result.decode_costs.append(cost)
-                result.live_batch_per_step.append(len(slots))
-                step += 1
-                next_tokens = sampler.sample_batch(logits)
-                for i, slot in enumerate(slots):
-                    candidate = live[slot]
-                    token = int(next_tokens[i])
-                    candidate.tokens.append(token)
-                    if eos_id is not None and token == eos_id:
-                        retire(candidate, "eos")
-                    elif len(candidate.tokens) >= candidate.budget:
-                        retire(candidate, "length")
+                try:
+                    if arm_abort:
+                        arm_abort -= 1
+                        raise SessionAbortError(
+                            f"injected FastRPC session abort at decode "
+                            f"step {step}")
+                    if arm_dma:
+                        arm_dma -= 1
+                        raise DMATimeoutError(
+                            f"injected DMA timeout at decode step {step}")
+                    if arm_alloc:
+                        arm_alloc -= 1
+                        raise KVPoolExhausted(
+                            f"injected KV pool exhaustion at decode "
+                            f"step {step}")
+                    if needs_rebuild:
+                        rebuild_live()
+                        needs_rebuild = False
+                        if not live:
+                            break
+                    slots = sorted(live)
+                    tokens = [live[s].last_token for s in slots]
+                    self._live_batch.set(len(slots))
+                    wall = time.perf_counter()
+                    with obs_trace.span(
+                            "scheduler.step", category="scheduler",
+                            step=step, live_batch=len(slots),
+                            blocks_in_use=cache.pool.blocks_in_use):
+                        logits, cost = engine.decode_step(tokens, slots)
+                    clock.advance(engine._step_seconds(
+                        cost, time.perf_counter() - wall))
+                    break
+                except SessionAbortError:
+                    attempt += 1
+                    if injector is None or attempt > policy.max_retries:
+                        degrade("aborted")
+                        break
+                    note_retry("session_abort",
+                               policy.backoff(attempt - 1)
+                               + policy.reopen_seconds)
+                    needs_rebuild = True
+                except TransientFaultError:
+                    attempt += 1
+                    if injector is None or attempt > policy.max_retries:
+                        degrade("aborted")
+                        break
+                    note_retry("dma_timeout", policy.backoff(attempt - 1))
+                except KVPoolExhausted:
+                    attempt += 1
+                    if (injector is None or attempt > policy.max_retries
+                            or not evict_one()):
+                        degrade("aborted")
+                        break
+                    needs_rebuild = True
+            if not live:
                 admit()
+                continue
+            result.decode_costs.append(cost)
+            result.live_batch_per_step.append(len(slots))
+            step += 1
+            next_tokens = sampler.sample_batch(logits)
+            for i, slot in enumerate(slots):
+                candidate = live.get(slot)
+                if candidate is None:
+                    continue
+                token = int(next_tokens[i])
+                candidate.tokens.append(token)
+                if eos_id is not None and token == eos_id:
+                    retire(candidate, "eos")
+                elif len(candidate.tokens) >= candidate.budget:
+                    retire(candidate, "length")
+            if (deadline_seconds is not None
+                    and clock.total_seconds >= deadline_seconds):
+                result.deadline_hit = True
+                admitting = False
+                with obs_trace.span("resilience.deadline",
+                                    category="resilience", step=step,
+                                    sim_seconds=clock.total_seconds,
+                                    deadline=deadline_seconds):
+                    degrade("deadline")
+            admit()
 
-            cache.release_snapshot(anchor)
-            result.n_steps = step
-            result.peak_kv_bytes = cache.pool.peak_bytes
-            result.cow_copies = cache.pool.cow_copies
-            result.sim_seconds = clock.total_seconds
+        cache.release_snapshot(anchor)
+        result.n_steps = step
+        result.peak_kv_bytes = cache.pool.peak_bytes
+        result.cow_copies = cache.pool.cow_copies
+        result.sim_seconds = clock.total_seconds
 
         finished.sort(key=lambda c: c.candidate_id)
         result.candidates = finished
         result.sequences = [c.tokens for c in finished]
         result.n_generated_tokens = [len(c.tokens) for c in finished]
-        return result
 
     # ------------------------------------------------------------------
     @staticmethod

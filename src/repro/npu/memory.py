@@ -74,6 +74,9 @@ class TCM:
         self._buffer = np.zeros(capacity, dtype=np.uint8)
         self._regions: List[TCMRegion] = []
         self._peak_usage = 0
+        # optional repro.resilience.FaultInjector; fires alloc_fail
+        # events at the "tcm.alloc" site when set
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # allocation
@@ -86,6 +89,12 @@ class TCM:
         if size <= 0:
             raise TCMAllocationError(f"allocation size must be positive, got {size}")
         aligned = self._align(size)
+        if self.fault_injector is not None:
+            self.fault_injector.maybe_raise(
+                "tcm.alloc",
+                detail=f"requested {size} bytes ({aligned} aligned), "
+                       f"{self.free_bytes()} free of {self.capacity}, "
+                       f"peak use {self._peak_usage}")
         cursor = 0
         for region in sorted(self._regions, key=lambda r: r.offset):
             if region.offset - cursor >= aligned:
@@ -93,8 +102,9 @@ class TCM:
             cursor = self._align(region.end)
         if cursor + aligned > self.capacity:
             raise TCMAllocationError(
-                f"TCM exhausted: need {aligned} bytes, {self.free_bytes()} free "
-                f"of {self.capacity}")
+                f"TCM exhausted: need {aligned} bytes "
+                f"({size} requested), {self.free_bytes()} free of "
+                f"{self.capacity}, peak use {self._peak_usage}")
         region = TCMRegion(cursor, aligned)
         self._regions.append(region)
         self._peak_usage = max(self._peak_usage, self.used_bytes())
@@ -278,6 +288,9 @@ class RpcMemHeap:
         self.va_space_bytes = va_space_bytes
         self.buffers: List[SharedBuffer] = []
         self.peak_mapped_bytes = 0
+        # optional repro.resilience.FaultInjector; fires alloc_fail
+        # events at the "rpcmem.alloc" site when set
+        self.fault_injector = None
 
     def mapped_bytes(self) -> int:
         return sum(b.nbytes for b in self.buffers)
@@ -287,11 +300,21 @@ class RpcMemHeap:
         return self.va_space_bytes - self.mapped_bytes()
 
     def alloc(self, nbytes: int, name: str = "rpcmem") -> SharedBuffer:
+        if self.fault_injector is not None:
+            self.fault_injector.maybe_raise(
+                "rpcmem.alloc",
+                detail=f"mapping {name}: requested {nbytes} bytes, "
+                       f"{self.free_va_bytes()} VA free of "
+                       f"{self.va_space_bytes}, peak mapped "
+                       f"{self.peak_mapped_bytes}")
         if self.mapped_bytes() + nbytes > self.va_space_bytes:
             raise AddressSpaceError(
                 f"mapping {name} ({nbytes / 2**20:.0f} MiB) exceeds NPU VA space: "
+                f"requested {nbytes} bytes, "
                 f"{self.mapped_bytes() / 2**20:.0f} MiB already mapped of "
-                f"{self.va_space_bytes / 2**20:.0f} MiB")
+                f"{self.va_space_bytes / 2**20:.0f} MiB "
+                f"({self.free_va_bytes()} bytes free, peak mapped "
+                f"{self.peak_mapped_bytes})")
         buffer = SharedBuffer(nbytes, name=name)
         self.buffers.append(buffer)
         self.peak_mapped_bytes = max(self.peak_mapped_bytes,

@@ -16,7 +16,8 @@ from typing import Dict
 from ..errors import NPUError
 from .timing import NPUGenerationTiming
 
-__all__ = ["PowerGovernor", "GOVERNORS", "apply_governor"]
+__all__ = ["PowerGovernor", "GOVERNORS", "THROTTLE_LADDER", "apply_governor",
+           "downgrade"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,25 @@ GOVERNORS: Dict[str, PowerGovernor] = {
     "efficiency": PowerGovernor("efficiency", clock_scale=0.55,
                                 fabric_scale=0.75, power_scale=0.38),
 }
+
+
+#: DVFS downgrade order under thermal pressure (§7.2.3): sustained load
+#: walks the session down this ladder one rung per thermal event.
+THROTTLE_LADDER = ("performance", "balanced", "efficiency")
+
+
+def downgrade(governor: "PowerGovernor | str") -> PowerGovernor:
+    """The next-lower DVFS rung for a thermal throttling event.
+
+    Already at the bottom (``efficiency``) stays there — real DVFS
+    governors saturate rather than power the NPU off.
+    """
+    name = governor.name if isinstance(governor, PowerGovernor) else governor
+    if name not in GOVERNORS:
+        raise NPUError(
+            f"unknown governor {name!r}; known: {sorted(GOVERNORS)}")
+    rung = THROTTLE_LADDER.index(name)
+    return GOVERNORS[THROTTLE_LADDER[min(rung + 1, len(THROTTLE_LADDER) - 1)]]
 
 
 def apply_governor(generation: NPUGenerationTiming,

@@ -17,7 +17,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from ..errors import EngineError, NPUError
+from ..errors import EngineError, NPUError, SessionAbortError
 from .memory import RpcMemHeap, SharedBuffer
 from .timing import GENERATIONS, NPUGenerationTiming
 
@@ -118,16 +118,67 @@ class FastRPCSession:
     one-way, the CPU must clean the cache after writing a request —
     :meth:`submit` does so explicitly, and tests can call
     :meth:`submit_without_clean` to observe the stale-read failure mode.
+
+    Sessions can die: on real hardware the remote Hexagon process is
+    torn down by driver restarts or subsystem resets, and every mapping
+    it held is lost (§7.2's FastRPC plumbing).  :meth:`abort` models
+    that — the session goes dead and submits raise
+    :class:`~repro.errors.SessionAbortError` until :meth:`reopen`
+    rebuilds the mailbox.  A
+    :class:`~repro.resilience.FaultInjector` passed as
+    ``fault_injector`` schedules aborts and DMA timeouts at the
+    ``fastrpc.submit`` site; :class:`~repro.resilience.ResilientSession`
+    wraps the retry/reopen loop around it.
     """
 
     _MAILBOX_BYTES = 4096
 
-    def __init__(self, heap: RpcMemHeap) -> None:
+    def __init__(self, heap: RpcMemHeap, fault_injector=None) -> None:
         self.heap = heap
+        self.fault_injector = fault_injector
+        self.alive = True
+        self.reopen_count = 0
         self.mailbox = heap.alloc(self._MAILBOX_BYTES, name="fastrpc-mailbox")
         self._handlers: Dict[int, Callable[[np.ndarray], np.ndarray]] = {}
         self._sequence = 0
         self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+    def abort(self) -> None:
+        """Kill the session: NPU-side state is gone until :meth:`reopen`."""
+        self.alive = False
+
+    def reopen(self) -> None:
+        """Re-establish a dead session.
+
+        Tears down the old mailbox mapping (its VA range is returned to
+        the heap) and maps a fresh one; registered op handlers are
+        CPU-side state and survive.  The request sequence restarts, as
+        it would with a fresh remote session.
+        """
+        if self.alive:
+            raise EngineError("cannot reopen a live session; abort it first")
+        self.heap.free(self.mailbox)
+        self.reopen_count += 1
+        self.mailbox = self.heap.alloc(
+            self._MAILBOX_BYTES, name=f"fastrpc-mailbox#{self.reopen_count}")
+        self._sequence = 0
+        self.alive = True
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise SessionAbortError(
+                "FastRPC session is dead; reopen() before submitting")
+        if self.fault_injector is not None:
+            try:
+                self.fault_injector.maybe_raise(
+                    "fastrpc.submit",
+                    detail=f"after {self.requests_served} requests")
+            except SessionAbortError:
+                self.abort()
+                raise
 
     def register_op(self, opcode: int,
                     handler: Callable[[np.ndarray], np.ndarray]) -> None:
@@ -147,6 +198,7 @@ class FastRPCSession:
 
     def submit(self, opcode: int, payload: np.ndarray) -> np.ndarray:
         """Write a request, clean the cache, let the NPU poll and execute."""
+        self._check_alive()
         self._sequence += 1
         self.mailbox.cpu_write(self._encode(opcode, payload))
         self.mailbox.clean_cache()
@@ -154,6 +206,7 @@ class FastRPCSession:
 
     def submit_without_clean(self, opcode: int, payload: np.ndarray) -> np.ndarray:
         """Faulty submit path: skips cache maintenance (for failure tests)."""
+        self._check_alive()
         self._sequence += 1
         self.mailbox.cpu_write(self._encode(opcode, payload))
         return self._poll_and_execute()

@@ -269,6 +269,37 @@ def text_report(source: Union[Tracer, Sequence[Span]],
         lines.append(f"mean live batch    {sum(live) / len(live):.2f}")
         lines.append(f"peak KV blocks     {max(blocks)}")
 
+    resilience = [s for s in spans if s.category == "resilience"]
+    if resilience:
+        by_name: Dict[str, int] = {}
+        for span in resilience:
+            by_name[span.name] = by_name.get(span.name, 0) + 1
+        fault_kinds: Dict[str, int] = {}
+        for span in resilience:
+            if span.name == "resilience.fault":
+                kind = str(span.attrs.get("kind", "?"))
+                fault_kinds[kind] = fault_kinds.get(kind, 0) + 1
+        lines.append("")
+        lines.append("== resilience (chaos mode) ==")
+        lines.append(f"faults injected    {by_name.get('resilience.fault', 0)}")
+        for kind in sorted(fault_kinds):
+            lines.append(f"  {kind:<17s}{fault_kinds[kind]}")
+        lines.append(f"retries            {by_name.get('resilience.retry', 0)}")
+        lines.append(f"KV rebuilds        "
+                     f"{by_name.get('resilience.rebuild', 0)}")
+        lines.append(f"evictions          {by_name.get('resilience.evict', 0)}")
+        lines.append(f"throttle events    "
+                     f"{by_name.get('resilience.throttle', 0)}")
+        lines.append(f"deadline hits      "
+                     f"{by_name.get('resilience.deadline', 0)}")
+        lines.append(f"degradations       "
+                     f"{by_name.get('resilience.degrade', 0) + by_name.get('resilience.tts_degrade', 0)}")
+        governors = [str(s.attrs["governor"]) for s in resilience
+                     if s.name == "resilience.throttle"
+                     and "governor" in s.attrs]
+        if governors:
+            lines.append(f"governors hit      {', '.join(sorted(set(governors)))}")
+
     if timing is not None:
         costed: Dict[str, Dict[str, float]] = {}
         for span in _leaf_cost_spans(spans):

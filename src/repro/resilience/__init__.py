@@ -1,0 +1,55 @@
+"""Resilience layer: deterministic fault injection + graceful degradation.
+
+The reproduction's serving stack must keep answering Best-of-N queries
+through the hazards the paper's deployment hit (§7.2): FastRPC session
+aborts, rpcmem/TCM allocation failures, DMA stalls, and DVFS/thermal
+throttling.  This package provides:
+
+* :mod:`repro.resilience.faults` — :class:`FaultPlan` /
+  :class:`FaultInjector`: seeded, fully deterministic fault schedules
+  consumed by hooks in the NPU memory model, the FastRPC session, the
+  KV block pool and the continuous-batching scheduler;
+* :mod:`repro.resilience.recovery` — :class:`RetryPolicy` (capped
+  exponential backoff), :class:`ResilientSession` (retry/reopen around
+  FastRPC), and :func:`degraded_schedule` (fault + deadline arithmetic
+  for the statistical TTS path).
+
+Core invariants (enforced by ``tests/differential`` and
+``tests/test_determinism.py``):
+
+* an **empty plan is a bitwise no-op**: behaviour, step costs, and the
+  accuracy RNG stream match a build without the resilience layer;
+* **chaos is reproducible**: same (seed, plan) ⇒ identical tokens,
+  retries, evictions, and simulated makespan;
+* **an answer always comes back**: under any plan, Best-of-N returns a
+  selected answer (best-so-far under deadlines and evictions) instead
+  of crashing or hanging.
+"""
+
+from .faults import (
+    FAULT_KINDS,
+    INJECTION_SITES,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+)
+from .recovery import (
+    DegradedSchedule,
+    ResilientSession,
+    RetryPolicy,
+    degraded_schedule,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "INJECTION_SITES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "DegradedSchedule",
+    "ResilientSession",
+    "RetryPolicy",
+    "degraded_schedule",
+]

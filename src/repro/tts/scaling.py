@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 from ..errors import ScalingError
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..resilience.faults import FaultPlan
 from .beam_search import evaluate_beam_search
 from .best_of_n import evaluate_best_of_n
 from .mcts import evaluate_mcts
@@ -54,7 +55,9 @@ class ScalingCurve:
 def budget_sweep(method: str, dataset: TaskDataset, profile: ModelProfile,
                  budgets: Sequence[int] = DEFAULT_BUDGETS,
                  reward_sigma: float = 0.4, seed: int = 0,
-                 engine_batch: Optional[int] = None) -> ScalingCurve:
+                 engine_batch: Optional[int] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 deadline_steps: Optional[float] = None) -> ScalingCurve:
     """Evaluate one scaling method across budgets.
 
     The reward model is reseeded per budget so curves are independent
@@ -65,10 +68,20 @@ def budget_sweep(method: str, dataset: TaskDataset, profile: ModelProfile,
     the physical decode batch through the continuous-batching
     scheduler discipline; the accuracy RNG stream is untouched, so the
     curve is identical with the routing on or off.
+
+    ``fault_plan`` / ``deadline_steps`` (Best-of-N only) run every
+    budget point in chaos mode — see
+    :func:`~repro.tts.best_of_n.evaluate_best_of_n`.
     """
     if method not in SCALING_METHODS:
         raise ScalingError(
             f"unknown method {method!r}; expected one of {SCALING_METHODS}")
+    if method != "best_of_n" and (
+            (fault_plan is not None and len(fault_plan) > 0)
+            or deadline_steps is not None):
+        raise ScalingError(
+            f"chaos mode (fault plan / deadline) only supports best_of_n, "
+            f"got method {method!r}")
     budgets = list(budgets)
     if not budgets or any(b <= 0 for b in budgets):
         raise ScalingError(f"budgets must be positive, got {budgets}")
@@ -84,7 +97,9 @@ def budget_sweep(method: str, dataset: TaskDataset, profile: ModelProfile,
                                 method=method, budget=budget):
                 _run_budget(method, dataset, profile, budget, reward_sigma,
                             seed, i, accuracies, tokens,
-                            engine_batch=engine_batch)
+                            engine_batch=engine_batch,
+                            fault_plan=fault_plan,
+                            deadline_steps=deadline_steps)
             obs_metrics.get_metrics().counter(
                 "repro.tts.budgets_evaluated").inc()
     return ScalingCurve(method=method, model=profile.name, dataset=dataset.name,
@@ -95,13 +110,17 @@ def budget_sweep(method: str, dataset: TaskDataset, profile: ModelProfile,
 def _run_budget(method: str, dataset: TaskDataset, profile: ModelProfile,
                 budget: int, reward_sigma: float, seed: int, i: int,
                 accuracies: List[float], tokens: List[float],
-                engine_batch: Optional[int] = None) -> None:
+                engine_batch: Optional[int] = None,
+                fault_plan: Optional[FaultPlan] = None,
+                deadline_steps: Optional[float] = None) -> None:
     """Evaluate one budget point of a sweep, appending to the curves."""
     run_seed = seed + 1000 * i
     reward = RewardModel(sigma=reward_sigma, seed=run_seed + 1)
     if method == "best_of_n":
         result = evaluate_best_of_n(dataset, profile, budget, reward,
-                                    seed=run_seed, engine_batch=engine_batch)
+                                    seed=run_seed, engine_batch=engine_batch,
+                                    fault_plan=fault_plan,
+                                    deadline_steps=deadline_steps)
         accuracies.append(result.accuracy)
         tokens.append(result.mean_tokens_per_problem)
     elif method == "beam_search":

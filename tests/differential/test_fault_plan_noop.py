@@ -1,0 +1,77 @@
+"""Differential: an empty fault plan is a bitwise no-op.
+
+The resilience layer's core invariant — running with
+``fault_plan=FaultPlan.empty()`` (or ``None``) and no deadline must be
+indistinguishable, bit for bit, from a build without the layer: same
+token sequences, same simulated clock, same live-batch trajectory, same
+step costs, and an untouched accuracy RNG stream at the TTS level.
+"""
+
+import pytest
+
+from repro.llm import ContinuousBatchingScheduler, InferenceEngine, Sampler
+from repro.npu import DEVICES
+from repro.resilience import FaultPlan
+from repro.tts import TaskDataset, get_model_profile
+from repro.tts.best_of_n import evaluate_best_of_n
+
+
+def scheduled_run(tiny_model, **kwargs):
+    engine = InferenceEngine(tiny_model, batch=4, max_context=48,
+                             kv_backend="paged",
+                             device=DEVICES["oneplus_12"])
+    sched = ContinuousBatchingScheduler(engine)
+    return sched.generate([1, 2, 3, 4], n_candidates=9, max_new_tokens=10,
+                          sampler=Sampler(temperature=0.9, seed=31),
+                          length_schedule=[3, 10, 6], **kwargs)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"fault_plan": None},
+    {"fault_plan": FaultPlan.empty()},
+    {"fault_plan": FaultPlan.parse("")},
+])
+def test_scheduler_empty_plan_bitwise_identical(tiny_model, kwargs):
+    baseline = scheduled_run(tiny_model)
+    candidate = scheduled_run(tiny_model, **kwargs)
+    assert candidate.sequences == baseline.sequences
+    assert candidate.sim_seconds == baseline.sim_seconds
+    assert candidate.live_batch_per_step == baseline.live_batch_per_step
+    assert candidate.decode_costs == baseline.decode_costs
+    assert [c.finish_reason for c in candidate.candidates] == \
+        [c.finish_reason for c in baseline.candidates]
+    # and the resilience bookkeeping stays untouched
+    assert candidate.faults == []
+    assert candidate.n_retries == 0
+    assert candidate.n_rebuilds == 0
+    assert not candidate.degraded
+
+
+def test_tts_empty_plan_bitwise_identical():
+    profile = get_model_profile("qwen2.5-1.5b")
+    dataset = TaskDataset.generate("math500", 40, seed=0)
+    baseline = evaluate_best_of_n(dataset, profile, budget=16, seed=7,
+                                  engine_batch=4)
+    empty = evaluate_best_of_n(dataset, profile, budget=16, seed=7,
+                               engine_batch=4,
+                               fault_plan=FaultPlan.empty())
+    assert empty.accuracy == baseline.accuracy
+    assert empty.oracle_accuracy == baseline.oracle_accuracy
+    assert empty.mean_tokens_per_problem == baseline.mean_tokens_per_problem
+    assert empty.scheduled_decode_steps == baseline.scheduled_decode_steps
+    assert empty.n_dropped_candidates == 0
+    assert not empty.degraded
+
+
+def test_tts_nonempty_plan_changes_only_chaos_fields():
+    """Faults can drop candidates, but sampling is never perturbed."""
+    profile = get_model_profile("qwen2.5-1.5b")
+    dataset = TaskDataset.generate("math500", 40, seed=0)
+    baseline = evaluate_best_of_n(dataset, profile, budget=16, seed=7)
+    chaos = evaluate_best_of_n(dataset, profile, budget=16, seed=7,
+                               engine_batch=4,
+                               fault_plan=FaultPlan.parse("alloc@2"))
+    # sampled token counts are a pure function of the sampling RNG,
+    # which chaos must not touch
+    assert chaos.mean_tokens_per_problem == baseline.mean_tokens_per_problem
+    assert chaos.n_dropped_candidates > 0

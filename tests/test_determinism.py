@@ -90,6 +90,63 @@ def test_scheduler_repeats_bitwise(tiny_model):
     assert runs[0].live_batch_per_step == runs[1].live_batch_per_step
 
 
+def test_chaos_run_repeats_bitwise(tiny_model):
+    """Same (seed, fault plan) => identical tokens, faults and clock."""
+    from repro.npu import DEVICES
+    from repro.resilience import FaultPlan
+
+    plan = FaultPlan.parse("abort@2,dma@4,alloc@5,throttle@3:efficiency:3")
+    runs = []
+    for _ in range(2):
+        engine = InferenceEngine(tiny_model, batch=4, max_context=32,
+                                 kv_backend="paged",
+                                 device=DEVICES["oneplus_12"])
+        sched = ContinuousBatchingScheduler(engine)
+        runs.append(sched.generate([1, 2, 3], n_candidates=8,
+                                   max_new_tokens=8,
+                                   sampler=Sampler(temperature=0.9, seed=17),
+                                   fault_plan=plan))
+    assert runs[0].sequences == runs[1].sequences
+    assert runs[0].sim_seconds == runs[1].sim_seconds
+    assert runs[0].n_retries == runs[1].n_retries
+    assert runs[0].n_evictions == runs[1].n_evictions
+    assert [(f.kind, f.site, f.at) for f in runs[0].faults] == \
+        [(f.kind, f.site, f.at) for f in runs[1].faults]
+
+
+def test_empty_plan_equals_no_resilience_layer(tiny_model):
+    """FaultPlan.empty() must be bitwise invisible to the scheduler."""
+    from repro.npu import DEVICES
+    from repro.resilience import FaultPlan
+
+    runs = []
+    for plan in (None, FaultPlan.empty()):
+        engine = InferenceEngine(tiny_model, batch=4, max_context=32,
+                                 kv_backend="paged",
+                                 device=DEVICES["oneplus_12"])
+        sched = ContinuousBatchingScheduler(engine)
+        runs.append(sched.generate([1, 2, 3], n_candidates=8,
+                                   max_new_tokens=8,
+                                   sampler=Sampler(temperature=0.9, seed=17),
+                                   fault_plan=plan))
+    assert runs[0].sequences == runs[1].sequences
+    assert runs[0].sim_seconds == runs[1].sim_seconds
+    assert runs[0].decode_costs == runs[1].decode_costs
+
+
+def test_chaos_budget_sweep_repeats_bitwise(sweep_inputs):
+    from repro.resilience import FaultPlan
+
+    profile, dataset = sweep_inputs
+    plan = FaultPlan.random(13)
+    first = budget_sweep("best_of_n", dataset, profile, budgets=[4, 16],
+                         seed=42, engine_batch=4, fault_plan=plan)
+    second = budget_sweep("best_of_n", dataset, profile, budgets=[4, 16],
+                          seed=42, engine_batch=4, fault_plan=plan)
+    assert first.accuracies == second.accuracies
+    assert first.tokens_per_problem == second.tokens_per_problem
+
+
 def test_scheduler_matches_lockstep_when_n_fits_batch(tiny_model):
     """Scheduler on/off is invisible when N <= batch (no retirement)."""
     prompt = [1, 2, 3]
