@@ -17,6 +17,14 @@ from repro.harness.report import ExperimentResult
 _RESULTS: Dict[str, ExperimentResult] = {}
 
 
+def pytest_collection_modifyitems(items):
+    # everything under benchmarks/ regenerates a paper artifact; mark it
+    # so `-m "not benchmark"` works when running tests and benchmarks
+    # in one invocation
+    for item in items:
+        item.add_marker(pytest.mark.benchmark)
+
+
 @pytest.fixture
 def record():
     """Register an ExperimentResult for the end-of-run report."""

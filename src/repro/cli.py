@@ -7,7 +7,9 @@ Commands:
 * ``devices`` — the Table 3 device registry with modelled parameters;
 * ``plan <model>`` — deployment feasibility/throughput across devices;
 * ``sweep <model> <dataset>`` — test-time-scaling budget sweep;
-* ``profile`` — trace a workload, export Perfetto JSON + text report.
+* ``profile`` — trace a workload, export Perfetto JSON + text report;
+* ``fuzz`` — seeded differential fuzzing over the oracle registry;
+* ``goldens`` — check/update the committed golden fixtures.
 """
 
 from __future__ import annotations
@@ -84,6 +86,43 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--report-out", default=None,
                          help="optional path for the text report "
                               "(printed to stdout regardless)")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="seeded differential fuzzing over the registered oracles")
+    fuzz.add_argument("--trials", type=int, default=100,
+                      help="number of random configurations to run")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="master seed; trial i derives its own RNG from "
+                           "(seed, i), so sweeps are reproducible")
+    fuzz.add_argument("--oracle", action="append", default=None,
+                      metavar="NAME",
+                      help="restrict to one oracle (repeatable); "
+                           "default: all registered oracles")
+    fuzz.add_argument("--replay", default=None, metavar="REPRO",
+                      help="replay one canonical repro string (e.g. "
+                           "'paged_kv::batch=4,block_size=3,...') instead "
+                           "of fuzzing")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report failures without minimizing them")
+    fuzz.add_argument("--list-oracles", action="store_true",
+                      help="list registered oracles and exit")
+
+    goldens = sub.add_parser(
+        "goldens",
+        help="check or update the committed golden fixtures")
+    mode = goldens.add_mutually_exclusive_group()
+    mode.add_argument("--check", action="store_true", default=True,
+                      help="regenerate every case and diff against the "
+                           "committed fixture (default)")
+    mode.add_argument("--update", action="store_true",
+                      help="rewrite the fixtures from the current "
+                           "implementation")
+    goldens.add_argument("--only", default=None, metavar="CASE",
+                         help="restrict to one golden case")
+    goldens.add_argument("--dir", default=None, metavar="PATH",
+                         help="fixture directory (default: the committed "
+                              "src/repro/testing/_goldens)")
     return parser
 
 
@@ -327,6 +366,55 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
     return 0
 
 
+def _cmd_fuzz(trials: int, seed: int, oracle_names, replay, shrink: bool,
+              list_oracles: bool, out) -> int:
+    from .testing import ORACLES, fuzz, run_repro
+
+    if list_oracles:
+        for name in sorted(ORACLES):
+            out.write(f"{name:<12s} {ORACLES[name].description}\n")
+        return 0
+    if replay is not None:
+        result = run_repro(replay)
+        out.write(f"replay {result.repro}\n")
+        if result.notes:
+            notes = ", ".join(f"{k}={v:g}"
+                              for k, v in sorted(result.notes.items()))
+            out.write(f"notes: {notes}\n")
+        if result.ok:
+            out.write("PASS\n")
+            return 0
+        out.write(f"FAIL {result.mismatch.kind}: "
+                  f"{result.mismatch.message}\n")
+        if result.mismatch.diff is not None:
+            out.write(f"diff: {result.mismatch.diff.to_json()}\n")
+        return 1
+    report = fuzz(trials, seed=seed, oracles=oracle_names, shrink=shrink)
+    out.write(report.render() + "\n")
+    return 0 if report.ok else 1
+
+
+def _cmd_goldens(update: bool, only, directory, out) -> int:
+    from .testing import check_goldens, update_goldens
+
+    if update:
+        for path in update_goldens(directory=directory, only=only):
+            out.write(f"wrote {path}\n")
+        return 0
+    mismatches = check_goldens(directory=directory, only=only)
+    if not mismatches:
+        from .testing import GOLDEN_CASES
+        n = 1 if only is not None else len(GOLDEN_CASES)
+        out.write(f"goldens ok ({n} case{'s' if n != 1 else ''})\n")
+        return 0
+    for mismatch in mismatches:
+        out.write(f"MISMATCH {mismatch.case}: {mismatch.message}\n")
+        out.write(f"  fixture: {mismatch.path}\n")
+    out.write(f"{len(mismatches)} golden mismatch(es); run "
+              "'repro goldens --update' if the change is intentional\n")
+    return 1
+
+
 def _dispatch(args, out) -> int:
     if args.command == "experiments":
         return _cmd_experiments(out)
@@ -347,6 +435,11 @@ def _dispatch(args, out) -> int:
                             candidates=args.candidates,
                             faults=args.faults,
                             deadline_ms=args.deadline_ms)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args.trials, args.seed, args.oracle, args.replay,
+                         not args.no_shrink, args.list_oracles, out)
+    if args.command == "goldens":
+        return _cmd_goldens(args.update, args.only, args.dir, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -144,3 +144,18 @@ class HarnessError(ReproError):
 
 class ObservabilityError(ReproError):
     """Raised by the tracing/metrics/export subsystem."""
+
+
+class TestingError(ReproError):
+    """Raised by the conformance subsystem (:mod:`repro.testing`).
+
+    (``__test__ = False`` keeps pytest from trying to collect the
+    class because of the ``Test`` name prefix.)
+
+    Covers unknown oracle names, malformed repro strings, invalid
+    fuzz configurations and golden-fixture bookkeeping errors — the
+    mismatches the oracles *detect* are reported as structured
+    records, not exceptions.
+    """
+
+    __test__ = False

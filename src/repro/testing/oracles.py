@@ -1,0 +1,768 @@
+"""Differential oracles: paired execution with structured mismatch reports.
+
+Every accuracy claim in the reproduction reduces to the same shape of
+argument: *run the same workload under two configurations and show the
+outputs agree* — HMX-simulated kernels against a float64 numpy
+reference, paged KV decode against contiguous decode, a chaos run with
+an empty fault plan against no resilience layer at all, speculative
+decode against plain greedy decode.  Before this module each of those
+pairings was a hand-written test; this module turns the pattern into
+infrastructure.
+
+An :class:`Oracle` packages one pairing: it knows how to *sample* a
+random configuration from a seeded RNG, how to *run* the pair for a
+concrete configuration, and how to *shrink* a failing configuration
+toward a minimal reproduction.  Running returns an
+:class:`OracleResult` whose :class:`MismatchRecord` carries enough
+structure (bitwise/ULP array diffs, token divergence position, cost
+deltas) to debug the failure from the record alone.
+
+Configurations are flat ``{str: int | str}`` dicts so they round-trip
+losslessly through the canonical repro strings of
+:mod:`repro.testing.fuzz` — a run is a pure function of its config, so
+replaying a repro string reproduces the exact trial.
+
+Tolerance discipline (calibrated against the seed implementation):
+
+* ``gemm`` — the HMX pipeline (FP16 operands, FP32 tile accumulation,
+  FP16 store) lands within 1 ULP of the float64 reference rounded to
+  FP16; the oracle allows 2.
+* ``attention`` — the pluggable exponent (``lut``/``poly16``/``poly32``)
+  is an approximation, so the oracle checks a 0.01 absolute ceiling
+  (~5x the worst calibrated error of 0.002) rather than ULPs.
+* everything else is **bitwise**: identical tokens, identical
+  :class:`~repro.llm.model.StepCost` records.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ReproError, TestingError
+
+__all__ = [
+    "ArrayDiff",
+    "MismatchRecord",
+    "OracleResult",
+    "Oracle",
+    "ORACLES",
+    "register_oracle",
+    "get_oracle",
+    "diff_arrays",
+    "ulp_distance_fp16",
+]
+
+ConfigValue = Union[int, str]
+Config = Dict[str, ConfigValue]
+
+GEMM_ULP_TOLERANCE = 2
+ATTENTION_ABS_TOLERANCE = 0.01
+
+
+# ----------------------------------------------------------------------
+# structured diffs
+# ----------------------------------------------------------------------
+def ulp_distance_fp16(actual: np.ndarray, expected: np.ndarray) -> np.ndarray:
+    """Elementwise ULP distance between two arrays, compared as FP16.
+
+    FP16 bit patterns map monotonically onto integers (sign-magnitude
+    folded into two's complement), so the ULP distance is the absolute
+    difference of the mapped integers — 0 means bitwise equal.
+    """
+    def ordered(x: np.ndarray) -> np.ndarray:
+        bits = np.asarray(x, dtype=np.float16).view(np.int16).astype(np.int64)
+        return np.where(bits < 0, -(bits & 0x7FFF), bits)
+
+    return np.abs(ordered(actual) - ordered(expected))
+
+
+@dataclass(frozen=True)
+class ArrayDiff:
+    """Summary of where and by how much two arrays disagree."""
+
+    shape: Tuple[int, ...]
+    n_diff: int
+    max_abs: float
+    max_ulp: int
+    first_index: Optional[Tuple[int, ...]] = None
+
+    @property
+    def bitwise_equal(self) -> bool:
+        return self.n_diff == 0
+
+    def to_json(self) -> Dict:
+        return {"shape": list(self.shape), "n_diff": self.n_diff,
+                "max_abs": self.max_abs, "max_ulp": self.max_ulp,
+                "first_index": list(self.first_index)
+                if self.first_index is not None else None}
+
+
+def diff_arrays(actual: np.ndarray, expected: np.ndarray) -> ArrayDiff:
+    """Structured comparison of two numeric arrays of the same shape."""
+    a = np.asarray(actual)
+    e = np.asarray(expected)
+    if a.shape != e.shape:
+        raise TestingError(
+            f"cannot diff arrays of shapes {a.shape} and {e.shape}")
+    mismatch = a.astype(np.float64) != e.astype(np.float64)
+    n_diff = int(mismatch.sum())
+    if n_diff == 0:
+        return ArrayDiff(shape=a.shape, n_diff=0, max_abs=0.0, max_ulp=0)
+    abs_diff = np.abs(a.astype(np.float64) - e.astype(np.float64))
+    first = tuple(int(i) for i in np.argwhere(mismatch)[0])
+    max_ulp = int(ulp_distance_fp16(a, e).max()) \
+        if a.dtype == np.float16 or e.dtype == np.float16 else 0
+    return ArrayDiff(shape=a.shape, n_diff=n_diff,
+                     max_abs=float(abs_diff.max()), max_ulp=max_ulp,
+                     first_index=first)
+
+
+@dataclass(frozen=True)
+class MismatchRecord:
+    """One oracle failure, structured enough to debug from the record.
+
+    ``kind`` names what diverged: ``"ulp"``/``"abs"`` for numeric
+    kernel comparisons, ``"tokens"`` for sampled-token divergence,
+    ``"cost"`` for :class:`StepCost` records, ``"state"`` for
+    checkpoint/weight round-trip state.
+    """
+
+    oracle: str
+    kind: str
+    message: str
+    config: Config = field(default_factory=dict)
+    diff: Optional[ArrayDiff] = None
+
+    def to_json(self) -> Dict:
+        return {"oracle": self.oracle, "kind": self.kind,
+                "message": self.message, "config": dict(self.config),
+                "diff": self.diff.to_json() if self.diff else None}
+
+
+@dataclass
+class OracleResult:
+    """Outcome of one paired execution."""
+
+    oracle: str
+    config: Config
+    ok: bool
+    mismatch: Optional[MismatchRecord] = None
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def repro(self) -> str:
+        from .fuzz import format_repro
+        return format_repro(self.oracle, self.config)
+
+
+# ----------------------------------------------------------------------
+# oracle base + registry
+# ----------------------------------------------------------------------
+class Oracle:
+    """One paired-execution check over a seeded configuration space.
+
+    Subclasses set :attr:`name`, the integer ranges
+    (:attr:`SHRINK_MINS`) and categorical canonical values
+    (:attr:`SHRINK_RESETS`) used by the generic shrinker, and implement
+    :meth:`sample_config` and :meth:`run`.  ``run`` must be a pure
+    function of the config dict — all randomness derives from seeds
+    stored *in* the config, never from ambient state.
+    """
+
+    name: str = ""
+    description: str = ""
+    #: integer config keys the shrinker may reduce, with their minima
+    SHRINK_MINS: Dict[str, int] = {}
+    #: categorical config keys with the value the shrinker resets toward
+    SHRINK_RESETS: Dict[str, ConfigValue] = {}
+
+    def sample_config(self, rng: np.random.Generator) -> Config:
+        raise NotImplementedError
+
+    def run(self, config: Config) -> OracleResult:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def normalize(self, config: Config) -> Config:
+        """Repair cross-key constraints after a shrink move (identity
+        by default)."""
+        return config
+
+    def shrink_steps(self, config: Config) -> Iterator[Config]:
+        """Candidate simplifications of ``config``, most aggressive first.
+
+        Categorical resets come before integer reductions so a failure
+        that survives on the canonical variant is reported there; each
+        integer key tries its minimum, the halfway point, then a
+        decrement.
+        """
+        seen = set()
+
+        def propose(cand: Config) -> Iterator[Config]:
+            cand = self.normalize(dict(cand))
+            key = tuple(sorted(cand.items()))
+            if cand != config and key not in seen:
+                seen.add(key)
+                yield cand
+
+        for name, canonical in self.SHRINK_RESETS.items():
+            if config.get(name) != canonical:
+                yield from propose({**config, name: canonical})
+        for name, lo in self.SHRINK_MINS.items():
+            value = int(config.get(name, lo))
+            if value <= lo:
+                continue
+            yield from propose({**config, name: lo})
+            yield from propose({**config, name: (value + lo) // 2})
+            yield from propose({**config, name: value - 1})
+
+    def _check_config(self, config: Config) -> None:
+        missing = [k for k in self.SHRINK_MINS if k not in config]
+        missing += [k for k in self.SHRINK_RESETS if k not in config]
+        if missing:
+            raise TestingError(
+                f"oracle {self.name!r} config is missing keys "
+                f"{sorted(missing)}; got {sorted(config)}")
+
+    # result constructors -------------------------------------------------
+    def passed(self, config: Config, **notes: float) -> OracleResult:
+        return OracleResult(oracle=self.name, config=dict(config), ok=True,
+                            notes=notes)
+
+    def failed(self, config: Config, kind: str, message: str,
+               diff: Optional[ArrayDiff] = None,
+               **notes: float) -> OracleResult:
+        record = MismatchRecord(oracle=self.name, kind=kind, message=message,
+                                config=dict(config), diff=diff)
+        return OracleResult(oracle=self.name, config=dict(config), ok=False,
+                            mismatch=record, notes=notes)
+
+
+ORACLES: Dict[str, Oracle] = {}
+
+
+def register_oracle(cls):
+    """Class decorator: instantiate and add to the global registry."""
+    oracle = cls()
+    if not oracle.name:
+        raise TestingError(f"oracle class {cls.__name__} has no name")
+    if oracle.name in ORACLES:
+        raise TestingError(f"duplicate oracle name {oracle.name!r}")
+    ORACLES[oracle.name] = oracle
+    return cls
+
+
+def get_oracle(name: str) -> Oracle:
+    if name not in ORACLES:
+        raise TestingError(
+            f"unknown oracle {name!r}; registered: {sorted(ORACLES)}")
+    return ORACLES[name]
+
+
+# ----------------------------------------------------------------------
+# shared fixtures (cached: oracles run hundreds of times per fuzz sweep)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=4)
+def _tiny_weights(seed: int):
+    from ..llm import TransformerWeights, tiny_config
+    return TransformerWeights.generate(tiny_config(), seed=seed)
+
+
+@lru_cache(maxsize=4)
+def _tiny_model(seed: int):
+    from ..llm import NPUTransformer
+    return NPUTransformer(_tiny_weights(seed))
+
+
+def _tokens_diff(actual: List[List[int]], expected: List[List[int]]
+                 ) -> Optional[str]:
+    """First token divergence between two candidate-sequence lists."""
+    if len(actual) != len(expected):
+        return (f"candidate count differs: {len(actual)} vs {len(expected)}")
+    for cand, (a, e) in enumerate(zip(actual, expected)):
+        if a == e:
+            continue
+        for pos, (ta, te) in enumerate(zip(a, e)):
+            if ta != te:
+                return (f"candidate {cand} diverges at token {pos}: "
+                        f"{ta} vs {te}")
+        return (f"candidate {cand} lengths differ: {len(a)} vs {len(e)}")
+    return None
+
+
+def _costs_diff(actual, expected) -> Optional[str]:
+    """First StepCost divergence between two decode-cost lists."""
+    if len(actual) != len(expected):
+        return (f"decode step count differs: "
+                f"{len(actual)} vs {len(expected)}")
+    for step, (a, e) in enumerate(zip(actual, expected)):
+        if a != e:
+            return f"StepCost diverged at decode step {step}"
+    return None
+
+
+def _random_prompt(rng: np.random.Generator, length: int,
+                   vocab: int = 512) -> List[int]:
+    return [int(t) for t in rng.integers(1, vocab, size=length)]
+
+
+# ----------------------------------------------------------------------
+# kernel oracles: HMX simulation vs float64 numpy reference
+# ----------------------------------------------------------------------
+@register_oracle
+class GemmOracle(Oracle):
+    """W4A16/W8A16 GEMM on the HMX pipeline vs a float64 reference.
+
+    The reference multiplies the *same dequantized FP16 weights* in
+    float64 and rounds once to FP16 — so the comparison isolates the
+    tile decomposition, accumulation order and precision discipline
+    from the (intentional) quantization error.
+    """
+
+    name = "gemm"
+    description = ("MixedPrecisionGemm (HVX dequant + HMX tiles) vs "
+                   "float64 matmul, <= 2 ULP in FP16")
+    SHRINK_MINS = {"m": 1, "k": 32, "n": 32, "seed": 0}
+    SHRINK_RESETS = {"bits": 4, "strategy": "ours"}
+
+    def sample_config(self, rng: np.random.Generator) -> Config:
+        strategy = ("ours", "baseline", "hmx_layout")[int(rng.integers(3))]
+        config = {
+            "m": int(rng.integers(1, 65)),
+            "k": int(rng.integers(1, 13)) * 8,
+            "n": int(rng.integers(1, 13)) * 8,
+            "bits": (4, 8)[int(rng.integers(2))],
+            "strategy": strategy,
+            "seed": int(rng.integers(0, 2**31)),
+        }
+        return self.normalize(config)
+
+    def normalize(self, config: Config) -> Config:
+        # the "baseline" conventional-group path needs tile-aligned
+        # operands; round up so shrink moves stay valid
+        if config.get("strategy") == "baseline":
+            config["k"] = max(32, -(-int(config["k"]) // 32) * 32)
+            config["n"] = max(32, -(-int(config["n"]) // 32) * 32)
+        return config
+
+    def run(self, config: Config) -> OracleResult:
+        self._check_config(config)
+        from ..kernels.gemm import MixedPrecisionGemm
+
+        m, k, n = int(config["m"]), int(config["k"]), int(config["n"])
+        rng = np.random.default_rng(int(config["seed"]))
+        activations = rng.normal(0.0, 1.0, (m, k)).astype(np.float16)
+        weight = rng.normal(0.0, 1.0 / np.sqrt(k), (k, n))
+
+        gemm = MixedPrecisionGemm(strategy=str(config["strategy"]),
+                                  bits=int(config["bits"]))
+        prepared = gemm.prepare_weight(weight)
+        out, _ = gemm(activations, prepared)
+        reference = (activations.astype(np.float64)
+                     @ prepared.dequantized_matrix.astype(np.float64)
+                     ).astype(np.float16)
+        diff = diff_arrays(out, reference)
+        max_ulp = int(ulp_distance_fp16(out, reference).max())
+        if max_ulp > GEMM_ULP_TOLERANCE:
+            return self.failed(
+                config, "ulp",
+                f"GEMM output off by {max_ulp} ULP "
+                f"(tolerance {GEMM_ULP_TOLERANCE}) vs float64 reference",
+                diff=diff, max_ulp=max_ulp)
+        return self.passed(config, max_ulp=max_ulp, max_abs=diff.max_abs)
+
+
+@register_oracle
+class AttentionOracle(Oracle):
+    """FP16 FlashAttention (Algorithm 1) vs the FP32/float64 reference.
+
+    The exponential is approximated (LUT / polynomial), so the check is
+    an absolute ceiling calibrated at ~5x the seed implementation's
+    worst error — tight enough that any masking, block-boundary or
+    rescale bug trips it.
+    """
+
+    name = "attention"
+    description = ("FlashAttention (blockwise FP16, lut/poly exp) vs "
+                   "FP32 reference, |diff| <= 0.01")
+    SHRINK_MINS = {"n_q": 1, "n_kv": 1, "head_dim": 16, "seed": 0}
+    SHRINK_RESETS = {"method": "lut", "causal": 0}
+
+    def sample_config(self, rng: np.random.Generator) -> Config:
+        config = {
+            "n_q": int(rng.integers(1, 33)),
+            "n_kv": int(rng.integers(1, 97)),
+            "head_dim": (16, 32, 64)[int(rng.integers(3))],
+            "method": ("lut", "poly16", "poly32")[int(rng.integers(3))],
+            "causal": int(rng.integers(2)),
+            "seed": int(rng.integers(0, 2**31)),
+        }
+        return self.normalize(config)
+
+    def normalize(self, config: Config) -> Config:
+        # causal decode semantics: queries are the last n_q positions of
+        # an n_kv-long sequence, so every query row sees >= 1 key
+        if int(config.get("causal", 0)) and \
+                int(config["n_kv"]) < int(config["n_q"]):
+            config["n_kv"] = int(config["n_q"])
+        return config
+
+    def run(self, config: Config) -> OracleResult:
+        self._check_config(config)
+        from ..kernels.flash_attention import (
+            FlashAttention,
+            attention_fp32_reference,
+        )
+        from ..npu.memory import TCM
+
+        n_q, n_kv = int(config["n_q"]), int(config["n_kv"])
+        d = int(config["head_dim"])
+        rng = np.random.default_rng(int(config["seed"]))
+        q = rng.normal(0.0, 1.0, (n_q, d)).astype(np.float16)
+        k = rng.normal(0.0, 1.0, (n_kv, d)).astype(np.float16)
+        v = rng.normal(0.0, 1.0, (n_kv, d)).astype(np.float16)
+        q_pos = k_pos = None
+        if int(config["causal"]):
+            q_pos = np.arange(n_kv - n_q, n_kv)
+            k_pos = np.arange(n_kv)
+
+        attention = FlashAttention(method=str(config["method"]), tcm=TCM())
+        with np.errstate(over="ignore", invalid="ignore"):
+            out, _ = attention(q, k, v, q_positions=q_pos, k_positions=k_pos)
+        reference = attention_fp32_reference(
+            q, k, v, q_positions=q_pos, k_positions=k_pos).astype(np.float16)
+        diff = diff_arrays(out, reference)
+        if diff.max_abs > ATTENTION_ABS_TOLERANCE:
+            return self.failed(
+                config, "abs",
+                f"attention output off by {diff.max_abs:.4f} "
+                f"(tolerance {ATTENTION_ABS_TOLERANCE}) vs FP32 reference",
+                diff=diff, max_abs=diff.max_abs)
+        return self.passed(config, max_abs=diff.max_abs)
+
+
+# ----------------------------------------------------------------------
+# engine oracles: bitwise pairings on the tiny model
+# ----------------------------------------------------------------------
+@register_oracle
+class PagedKVOracle(Oracle):
+    """Paged-KV decode vs contiguous decode: bitwise tokens and costs.
+
+    The PR-2 guarantee, generalized: any (dtype, batch, block size,
+    prompt length) combination — including block sizes that do not
+    divide the prompt — reassembles the identical KV prefix.
+    """
+
+    name = "paged_kv"
+    description = ("engine decode, kv_backend='paged' vs 'contiguous': "
+                   "bitwise-identical tokens and StepCosts")
+    SHRINK_MINS = {"batch": 1, "block_size": 1, "prompt_len": 1,
+                   "new_tokens": 1, "sampler_seed": 0}
+    SHRINK_RESETS = {"dtype": "fp16"}
+
+    def sample_config(self, rng: np.random.Generator) -> Config:
+        return {
+            "dtype": ("fp16", "q8")[int(rng.integers(2))],
+            "batch": int(rng.integers(1, 9)),
+            "block_size": int(rng.integers(1, 21)),
+            "prompt_len": int(rng.integers(1, 13)),
+            "new_tokens": int(rng.integers(1, 13)),
+            "sampler_seed": int(rng.integers(0, 2**31)),
+        }
+
+    def _generate(self, config: Config, backend: str):
+        from ..llm import InferenceEngine, Sampler
+
+        prompt = _random_prompt(
+            np.random.default_rng([int(config["sampler_seed"]),
+                                   int(config["prompt_len"])]),
+            int(config["prompt_len"]))
+        engine = InferenceEngine(
+            _tiny_model(0), batch=int(config["batch"]),
+            max_context=len(prompt) + int(config["new_tokens"]) + 1,
+            kv_backend=backend, kv_dtype=str(config["dtype"]),
+            kv_block_size=int(config["block_size"]))
+        return engine.generate(
+            prompt, max_new_tokens=int(config["new_tokens"]),
+            sampler=Sampler(temperature=0.8,
+                            seed=int(config["sampler_seed"])))
+
+    def run(self, config: Config) -> OracleResult:
+        self._check_config(config)
+        contiguous = self._generate(config, "contiguous")
+        paged = self._generate(config, "paged")
+        token_diff = _tokens_diff(paged.sequences, contiguous.sequences)
+        if token_diff is not None:
+            return self.failed(config, "tokens",
+                               f"paged vs contiguous: {token_diff}")
+        if paged.prefill_cost != contiguous.prefill_cost:
+            return self.failed(config, "cost",
+                               "prefill StepCost differs between backends")
+        cost_diff = _costs_diff(paged.decode_costs, contiguous.decode_costs)
+        if cost_diff is not None:
+            return self.failed(config, "cost",
+                               f"paged vs contiguous: {cost_diff}")
+        return self.passed(
+            config, n_tokens=float(paged.total_generated_tokens))
+
+
+@register_oracle
+class FaultNoopOracle(Oracle):
+    """Scheduler with an empty fault plan vs no fault plan at all.
+
+    The PR-3 guarantee: arming the resilience machinery with zero
+    events must be a bitwise no-op — same tokens, same costs, same
+    step count, no RNG perturbation.
+    """
+
+    name = "fault_noop"
+    description = ("ContinuousBatchingScheduler, FaultPlan.empty() vs "
+                   "fault_plan=None: bitwise-identical generation")
+    SHRINK_MINS = {"batch": 1, "n_candidates": 1, "prompt_len": 1,
+                   "new_tokens": 1, "sampler_seed": 0}
+    SHRINK_RESETS = {}
+
+    def sample_config(self, rng: np.random.Generator) -> Config:
+        batch = int(rng.integers(1, 7))
+        config = {
+            "batch": batch,
+            "n_candidates": int(rng.integers(batch, 13)),
+            "prompt_len": int(rng.integers(1, 11)),
+            "new_tokens": int(rng.integers(1, 11)),
+            "sampler_seed": int(rng.integers(0, 2**31)),
+        }
+        return self.normalize(config)
+
+    def normalize(self, config: Config) -> Config:
+        if int(config["n_candidates"]) < int(config["batch"]):
+            config["n_candidates"] = int(config["batch"])
+        return config
+
+    def _generate(self, config: Config, fault_plan):
+        from ..llm import ContinuousBatchingScheduler, InferenceEngine, Sampler
+
+        prompt = _random_prompt(
+            np.random.default_rng([int(config["sampler_seed"]),
+                                   int(config["prompt_len"])]),
+            int(config["prompt_len"]))
+        engine = InferenceEngine(
+            _tiny_model(0), batch=int(config["batch"]),
+            max_context=len(prompt) + int(config["new_tokens"]) + 1,
+            kv_backend="paged")
+        scheduler = ContinuousBatchingScheduler(engine)
+        return scheduler.generate(
+            prompt, n_candidates=int(config["n_candidates"]),
+            max_new_tokens=int(config["new_tokens"]),
+            sampler=Sampler(temperature=0.8,
+                            seed=int(config["sampler_seed"])),
+            fault_plan=fault_plan)
+
+    def run(self, config: Config) -> OracleResult:
+        self._check_config(config)
+        from ..resilience import FaultPlan
+
+        plain = self._generate(config, None)
+        armed = self._generate(config, FaultPlan.empty())
+        token_diff = _tokens_diff(armed.sequences, plain.sequences)
+        if token_diff is not None:
+            return self.failed(config, "tokens",
+                               f"empty plan vs none: {token_diff}")
+        cost_diff = _costs_diff(armed.decode_costs, plain.decode_costs)
+        if cost_diff is not None:
+            return self.failed(config, "cost",
+                               f"empty plan vs none: {cost_diff}")
+        if armed.n_steps != plain.n_steps:
+            return self.failed(
+                config, "cost",
+                f"step counts differ: {armed.n_steps} vs {plain.n_steps}")
+        if armed.faults or armed.n_retries or armed.n_rebuilds:
+            return self.failed(
+                config, "state",
+                "empty plan reported resilience activity: "
+                f"{len(armed.faults)} faults, {armed.n_retries} retries, "
+                f"{armed.n_rebuilds} rebuilds")
+        return self.passed(config, n_steps=float(plain.n_steps))
+
+
+@register_oracle
+class SpeculativeOracle(Oracle):
+    """Greedy speculative decode vs plain greedy target decode.
+
+    The §9 Generate-then-Verify guarantee: with greedy acceptance the
+    draft model *cannot* change the output — whatever it proposes, the
+    committed tokens equal pure argmax decoding of the target model,
+    whether the draft always agrees (draft == target) or frequently
+    disagrees (an independently seeded draft).
+    """
+
+    name = "speculative"
+    description = ("SpeculativeDecoder (greedy) vs plain argmax decode: "
+                   "token-identical for any draft model")
+    SHRINK_MINS = {"draft_len": 1, "prompt_len": 1, "new_tokens": 1,
+                   "draft_seed": 0, "seed": 0}
+    SHRINK_RESETS = {}
+
+    def sample_config(self, rng: np.random.Generator) -> Config:
+        return {
+            "draft_len": int(rng.integers(1, 9)),
+            "prompt_len": int(rng.integers(1, 11)),
+            "new_tokens": int(rng.integers(1, 17)),
+            # 0 = draft shares the target's weights (always agrees)
+            "draft_seed": int(rng.integers(0, 3)),
+            "seed": int(rng.integers(0, 2**31)),
+        }
+
+    @staticmethod
+    def _plain_greedy(model, prompt: List[int], n_tokens: int) -> List[int]:
+        cache = model.new_cache(1, len(prompt) + n_tokens + 1)
+        logits, _ = model.forward(
+            np.asarray(prompt, dtype=np.int64)[np.newaxis, :], cache)
+        tokens: List[int] = []
+        current = int(logits[0, -1].argmax())
+        tokens.append(current)
+        for _ in range(n_tokens - 1):
+            logits, _ = model.forward(
+                np.asarray([[current]], dtype=np.int64), cache)
+            current = int(logits[0, -1].argmax())
+            tokens.append(current)
+        return tokens
+
+    def run(self, config: Config) -> OracleResult:
+        self._check_config(config)
+        from ..llm import SpeculativeDecoder
+
+        target = _tiny_model(0)
+        draft = _tiny_model(int(config["draft_seed"]))
+        prompt = _random_prompt(
+            np.random.default_rng([int(config["seed"]),
+                                   int(config["prompt_len"])]),
+            int(config["prompt_len"]))
+        n_tokens = int(config["new_tokens"])
+
+        decoder = SpeculativeDecoder(target, draft,
+                                     draft_len=int(config["draft_len"]))
+        speculative = decoder.generate(prompt, n_tokens, temperature=0.0,
+                                       seed=int(config["seed"]))
+        plain = self._plain_greedy(target, prompt, n_tokens)
+        if speculative.tokens != plain:
+            divergence = _tokens_diff([speculative.tokens], [plain])
+            return self.failed(
+                config, "tokens",
+                f"speculative vs plain greedy: {divergence}",
+                acceptance_rate=speculative.acceptance_rate)
+        return self.passed(config,
+                           acceptance_rate=speculative.acceptance_rate)
+
+
+@register_oracle
+class CheckpointOracle(Oracle):
+    """Checkpoint round-trips: save -> load -> bitwise-identical decode.
+
+    Checked guarantees (quantization is deliberately lossy *once*, so
+    the invariants hold after the first encode):
+
+    * ``f16``: loaded weights are an encode fixpoint — re-saving and
+      re-loading reproduces every tensor bitwise, and both generations
+      decode identically;
+    * ``q4``: the loaded projections equal the quantize-dequantize
+      round-trip the NPU computes with
+      (:meth:`NPUTransformer.dequantized_layer_weights`), and two
+      independent loads of the same file decode identically —
+      including through the paged KV backend.
+    """
+
+    name = "checkpoint"
+    description = ("save/load round-trip (f16 fixpoint, q4 == NPU "
+                   "effective weights) decodes bitwise-identically")
+    SHRINK_MINS = {"batch": 1, "new_tokens": 1, "weights_seed": 0,
+                   "sampler_seed": 0}
+    SHRINK_RESETS = {"codec": "f16", "backend": "contiguous"}
+
+    def sample_config(self, rng: np.random.Generator) -> Config:
+        return {
+            "codec": ("f16", "q4")[int(rng.integers(2))],
+            "backend": ("contiguous", "paged")[int(rng.integers(2))],
+            "batch": int(rng.integers(1, 5)),
+            "new_tokens": int(rng.integers(1, 11)),
+            "weights_seed": int(rng.integers(0, 3)),
+            "sampler_seed": int(rng.integers(0, 2**31)),
+        }
+
+    @staticmethod
+    def _weight_arrays(weights) -> Iterator[Tuple[str, np.ndarray]]:
+        yield "embedding", weights.embedding
+        yield "lm_head", weights.lm_head
+        yield "final_norm", weights.final_norm
+        for i, layer in enumerate(weights.layers):
+            for name, matrix in sorted(layer.items()):
+                yield f"layers.{i}.{name}", matrix
+
+    def _decode(self, model, config: Config) -> List[List[int]]:
+        from ..llm import InferenceEngine, Sampler
+
+        prompt = _random_prompt(
+            np.random.default_rng([int(config["sampler_seed"]), 17]), 6)
+        engine = InferenceEngine(
+            model, batch=int(config["batch"]),
+            max_context=len(prompt) + int(config["new_tokens"]) + 1,
+            kv_backend=str(config["backend"]))
+        result = engine.generate(
+            prompt, max_new_tokens=int(config["new_tokens"]),
+            sampler=Sampler(temperature=0.8,
+                            seed=int(config["sampler_seed"])))
+        return result.sequences
+
+    def run(self, config: Config) -> OracleResult:
+        self._check_config(config)
+        from ..llm import NPUTransformer
+        from ..llm.checkpoint import load_checkpoint, save_checkpoint
+
+        codec = str(config["codec"])
+        weights = _tiny_weights(int(config["weights_seed"]))
+        with tempfile.TemporaryDirectory(prefix="repro-ckpt-") as tmp:
+            first = Path(tmp) / "first.ckpt"
+            save_checkpoint(first, weights, codec=codec)
+            loaded = load_checkpoint(first)
+
+            if codec == "f16":
+                second = Path(tmp) / "second.ckpt"
+                save_checkpoint(second, loaded, codec=codec)
+                reloaded = load_checkpoint(second)
+            else:
+                reloaded = load_checkpoint(first)
+
+        if codec == "f16":
+            for name, a in self._weight_arrays(loaded):
+                b = dict(self._weight_arrays(reloaded))[name]
+                if not np.array_equal(a, b):
+                    return self.failed(
+                        config, "state",
+                        f"f16 round-trip is not a fixpoint: tensor "
+                        f"{name!r} changed on re-save",
+                        diff=diff_arrays(b, a))
+        else:
+            effective = _tiny_model(
+                int(config["weights_seed"])).dequantized_layer_weights()
+            for i, layer in enumerate(effective):
+                for name, expected in layer.items():
+                    actual = loaded.layers[i][name]
+                    if not np.array_equal(actual, expected):
+                        return self.failed(
+                            config, "state",
+                            f"q4 checkpoint tensor layers.{i}.{name} != "
+                            "the NPU's dequantized weights",
+                            diff=diff_arrays(actual, expected))
+
+        tokens_a = self._decode(NPUTransformer(loaded), config)
+        tokens_b = self._decode(NPUTransformer(reloaded), config)
+        token_diff = _tokens_diff(tokens_b, tokens_a)
+        if token_diff is not None:
+            return self.failed(config, "tokens",
+                               f"round-trip decode: {token_diff}")
+        return self.passed(config)

@@ -15,6 +15,8 @@ from repro.resilience import FaultPlan
 from repro.tts import TaskDataset, get_model_profile
 from repro.tts.best_of_n import evaluate_best_of_n
 
+pytestmark = pytest.mark.chaos
+
 
 def scheduled_run(tiny_model, **kwargs):
     engine = InferenceEngine(tiny_model, batch=4, max_context=48,

@@ -1,0 +1,71 @@
+"""Speculative decoding must be token-identical to plain decoding.
+
+The correctness argument for speculative decoding (paper §6.2) is that
+rejection sampling preserves the target model's output distribution; at
+temperature 0 this collapses to an exact guarantee — the emitted tokens
+must equal the target model's plain greedy argmax sequence regardless
+of what the draft model proposes.  Both halves are exercised: a draft
+that always agrees (it *is* the target) and an independent draft that
+regularly disagrees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.llm import NPUTransformer, SpeculativeDecoder, TransformerWeights, \
+    tiny_config
+
+PROMPT = [3, 1, 4, 1, 5, 9, 2, 6]
+N_TOKENS = 16
+
+
+@pytest.fixture(scope="module")
+def target_model():
+    return NPUTransformer(TransformerWeights.generate(tiny_config(), seed=0))
+
+
+@pytest.fixture(scope="module")
+def draft_model():
+    return NPUTransformer(TransformerWeights.generate(tiny_config(), seed=1))
+
+
+def plain_greedy(model, prompt, n_tokens):
+    cache = model.new_cache(1, len(prompt) + n_tokens + 1)
+    logits, _ = model.forward(
+        np.asarray(prompt, dtype=np.int64)[np.newaxis, :], cache)
+    tokens = [int(logits[0, -1].argmax())]
+    while len(tokens) < n_tokens:
+        logits, _ = model.forward(
+            np.asarray([[tokens[-1]]], dtype=np.int64), cache)
+        tokens.append(int(logits[0, -1].argmax()))
+    return tokens
+
+
+@pytest.mark.parametrize("draft_len", [1, 3, 4, 8])
+def test_agreeing_draft_is_token_identical(target_model, draft_len):
+    """Draft == target: every proposal is accepted, tokens unchanged."""
+    decoder = SpeculativeDecoder(target_model, target_model,
+                                 draft_len=draft_len)
+    result = decoder.generate(PROMPT, N_TOKENS, temperature=0.0, seed=0)
+    assert result.tokens == plain_greedy(target_model, PROMPT, N_TOKENS)
+    assert result.accepted_drafts == result.proposed_drafts
+
+
+@pytest.mark.parametrize("draft_len", [1, 3, 4, 8])
+def test_disagreeing_draft_is_still_token_identical(target_model,
+                                                    draft_model, draft_len):
+    """Independent draft: rejections happen, tokens still exact."""
+    decoder = SpeculativeDecoder(target_model, draft_model,
+                                 draft_len=draft_len)
+    result = decoder.generate(PROMPT, N_TOKENS, temperature=0.0, seed=0)
+    assert result.tokens == plain_greedy(target_model, PROMPT, N_TOKENS)
+    assert result.accepted_drafts < result.proposed_drafts, \
+        "an independent draft that never disagrees proves nothing"
+
+
+def test_agreeing_draft_saves_target_forward_passes(target_model):
+    """One target pass verifies draft_len+1 tokens when drafts land."""
+    decoder = SpeculativeDecoder(target_model, target_model, draft_len=4)
+    result = decoder.generate(PROMPT, N_TOKENS, temperature=0.0, seed=0)
+    assert result.target_forward_passes < N_TOKENS
+    assert result.acceptance_rate == 1.0

@@ -1,0 +1,106 @@
+"""Checkpoint round-trips: save -> load -> bitwise-identical decode.
+
+Quantized codecs are deliberately lossy *once* (q4 master -> deployment
+weights), so the invariants are phrased on the post-encode artifact:
+``f16`` checkpoints are an encode fixpoint, ``q4`` checkpoints load to
+exactly the weights the NPU computes with, and decoding from a loaded
+checkpoint is deterministic across independent loads on both KV-cache
+backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.llm import InferenceEngine, NPUTransformer, Sampler, \
+    TransformerWeights, tiny_config
+from repro.llm.checkpoint import checkpoint_info, load_checkpoint, \
+    save_checkpoint
+
+PROMPT = [3, 1, 4, 1, 5, 9, 2, 6]
+
+
+def weight_arrays(weights):
+    yield "embedding", weights.embedding
+    yield "lm_head", weights.lm_head
+    yield "final_norm", weights.final_norm
+    for i, layer in enumerate(weights.layers):
+        for name, matrix in sorted(layer.items()):
+            yield f"layers.{i}.{name}", matrix
+
+
+def decode(model, kv_backend, new_tokens=10, batch=3):
+    engine = InferenceEngine(model, batch=batch,
+                             max_context=len(PROMPT) + new_tokens + 1,
+                             kv_backend=kv_backend)
+    result = engine.generate(PROMPT, max_new_tokens=new_tokens,
+                             sampler=Sampler(temperature=0.8, seed=42))
+    return result.sequences
+
+
+@pytest.fixture(scope="module")
+def master_weights():
+    return TransformerWeights.generate(tiny_config(), seed=0)
+
+
+def test_f16_round_trip_is_an_encode_fixpoint(master_weights, tmp_path):
+    save_checkpoint(tmp_path / "a.ckpt", master_weights, codec="f16")
+    loaded = load_checkpoint(tmp_path / "a.ckpt")
+    save_checkpoint(tmp_path / "b.ckpt", loaded, codec="f16")
+    reloaded = load_checkpoint(tmp_path / "b.ckpt")
+    second = dict(weight_arrays(reloaded))
+    for name, array in weight_arrays(loaded):
+        assert array.dtype == second[name].dtype, name
+        assert array.tobytes() == second[name].tobytes(), \
+            f"tensor {name} changed across an f16 save/load cycle"
+
+
+@pytest.mark.parametrize("kv_backend", ["contiguous", "paged"])
+@pytest.mark.parametrize("codec", ["f16", "q4"])
+def test_loaded_checkpoint_decodes_deterministically(master_weights,
+                                                     tmp_path, codec,
+                                                     kv_backend):
+    """Two independent loads of one file decode bitwise-identically."""
+    path = tmp_path / "m.ckpt"
+    save_checkpoint(path, master_weights, codec=codec)
+    first = decode(NPUTransformer(load_checkpoint(path)), kv_backend)
+    second = decode(NPUTransformer(load_checkpoint(path)), kv_backend)
+    assert first == second
+
+
+def test_f16_second_generation_decodes_identically(master_weights, tmp_path):
+    """The encode fixpoint extends to inference: a re-saved f16
+    checkpoint decodes bitwise-identically to its parent."""
+    save_checkpoint(tmp_path / "a.ckpt", master_weights, codec="f16")
+    loaded = load_checkpoint(tmp_path / "a.ckpt")
+    save_checkpoint(tmp_path / "b.ckpt", loaded, codec="f16")
+    reloaded = load_checkpoint(tmp_path / "b.ckpt")
+    for kv_backend in ("contiguous", "paged"):
+        assert decode(NPUTransformer(loaded), kv_backend) == \
+            decode(NPUTransformer(reloaded), kv_backend)
+
+
+def test_q4_checkpoint_equals_npu_effective_weights(master_weights, tmp_path):
+    """q4 loads to exactly what the NPU dequantizes at run time."""
+    path = tmp_path / "m.ckpt"
+    save_checkpoint(path, master_weights, codec="q4")
+    loaded = load_checkpoint(path)
+    effective = NPUTransformer(master_weights).dequantized_layer_weights()
+    for i, layer in enumerate(effective):
+        for name, expected in layer.items():
+            actual = loaded.layers[i][name]
+            assert actual.shape == expected.shape
+            assert np.array_equal(actual, expected), \
+                f"layers.{i}.{name} differs from the NPU's view"
+
+
+def test_checkpoint_info_reports_codec_and_tensors(master_weights, tmp_path):
+    path = tmp_path / "m.ckpt"
+    n_bytes = save_checkpoint(path, master_weights, codec="q4")
+    assert path.stat().st_size == n_bytes
+    info = checkpoint_info(path)
+    assert info["codec"] == "q4"
+    names = {entry["name"] for entry in info["tensors"]}
+    expected = {name for name, _ in weight_arrays(master_weights)}
+    if master_weights.config.tie_embeddings:
+        expected.discard("lm_head")   # tied head is rebuilt on load
+    assert names == expected

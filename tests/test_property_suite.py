@@ -24,6 +24,8 @@ from repro.quant.schemes import (
 )
 from repro.quant.tile_quant import dequantize_weight, quantize_tile_group
 
+pytestmark = pytest.mark.slow
+
 
 @st.composite
 def gaussian_matrix(draw, max_dim=6):

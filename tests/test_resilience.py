@@ -38,6 +38,8 @@ from repro.resilience import (
 from repro.tts import TaskDataset, get_model_profile
 from repro.tts.best_of_n import evaluate_best_of_n
 
+pytestmark = pytest.mark.chaos
+
 DEVICE = DEVICES["oneplus_12"]
 
 

@@ -25,6 +25,8 @@ from repro.npu import DEVICES
 from repro.npu.memory import TCM
 from repro.resilience import FaultEvent, FaultInjector, FaultPlan
 
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
 _MODEL = NPUTransformer(TransformerWeights.generate(tiny_config(), seed=0))
 
 
