@@ -83,3 +83,82 @@ def _timed(fn, *args) -> float:
     start = time.perf_counter()
     fn(*args)
     return time.perf_counter() - start
+
+
+def test_disabled_span_fast_path_is_allocation_free():
+    """The disabled path returns the shared singleton and retains nothing."""
+    import tracemalloc
+
+    from repro.obs.trace import NULL_SPAN
+
+    tracer = Tracer(enabled=False)
+    assert tracer.span("kernel.gemm", category="kernel") is NULL_SPAN
+    assert tracer.span("engine.decode_step", m=8, k=64) is NULL_SPAN
+
+    def burst() -> None:
+        span = tracer.span
+        for i in range(10_000):
+            with span("kernel.gemm", category="kernel", m=i):
+                pass
+
+    burst()  # warm caches before measuring
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    burst()
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    # transient kwargs dicts are freed per call; nothing may accumulate
+    assert after - before < 4096, (
+        f"disabled span loop retained {after - before} bytes")
+    assert tracer.spans == []
+
+
+def test_slo_recording_overhead_in_scheduler_step_loop():
+    """Metrics + SLO histogram recording must stay a rounding error of a
+    scheduler run: the hot loop pays one observe_step per decode step and
+    one observe_candidate per retirement."""
+    from repro.llm import ContinuousBatchingScheduler
+    from repro.obs.metrics import MetricsRegistry, set_metrics
+    from repro.obs.slo import SLOTracker
+
+    weights = TransformerWeights.generate(tiny_config(), seed=0)
+    engine = InferenceEngine(NPUTransformer(weights), batch=BATCH,
+                             max_context=32, kv_backend="paged")
+    scheduler = ContinuousBatchingScheduler(engine)
+
+    def run_scheduler() -> None:
+        scheduler.generate(PROMPT, n_candidates=4, max_new_tokens=4,
+                           sampler=Sampler(temperature=1.0, seed=0))
+
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    try:
+        run_scheduler()  # warm-up; also populates the SLO histograms
+        run_seconds = min(_timed(run_scheduler) for _ in range(3))
+        snapshot = registry.snapshot()
+    finally:
+        set_metrics(previous)
+
+    n_steps = snapshot["repro.slo.step_latency_seconds"]["count"]
+    n_candidates = snapshot["repro.slo.candidate_latency_seconds"]["count"]
+    assert n_steps > 0 and n_candidates > 0
+
+    # replay the same number of recordings against fresh histograms
+    tracker = SLOTracker(MetricsRegistry(), engine_batch=BATCH)
+    live = list(range(BATCH))
+
+    def replay() -> None:
+        for step in range(n_steps):
+            tracker.observe_step(1e-4, live)
+        for candidate in range(n_candidates):
+            tracker.observe_candidate(candidate, 1e-3)
+
+    replay()  # warm-up
+    record_seconds = min(_timed(replay) for _ in range(5))
+
+    overhead = record_seconds / run_seconds
+    assert overhead < MAX_OVERHEAD_FRACTION, (
+        f"{n_steps} step + {n_candidates} candidate SLO recordings cost "
+        f"{record_seconds * 1e3:.3f} ms, {100 * overhead:.2f}% of the "
+        f"{run_seconds * 1e3:.1f} ms scheduler run "
+        f"(limit {100 * MAX_OVERHEAD_FRACTION:.0f}%)")

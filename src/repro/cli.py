@@ -8,6 +8,7 @@ Commands:
 * ``plan <model>`` — deployment feasibility/throughput across devices;
 * ``sweep <model> <dataset>`` — test-time-scaling budget sweep;
 * ``profile`` — trace a workload, export Perfetto JSON + text report;
+* ``bench`` — run the benchmark suite, snapshot it, gate on regressions;
 * ``fuzz`` — seeded differential fuzzing over the oracle registry;
 * ``goldens`` — check/update the committed golden fixtures.
 """
@@ -86,6 +87,51 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--report-out", default=None,
                          help="optional path for the text report "
                               "(printed to stdout regardless)")
+    profile.add_argument("--json", default=None, metavar="PATH",
+                         dest="json_out",
+                         help="emit the report data as structured JSON to "
+                              "PATH ('-' for stdout) so profiling runs are "
+                              "scriptable")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the canonical benchmark scenarios, write a BENCH_<n>.json "
+             "snapshot, and/or gate against a baseline")
+    bench.add_argument("mode", nargs="?", default="run", choices=["run"],
+                       help="run the suite (default)")
+    gate = bench.add_mutually_exclusive_group()
+    gate.add_argument("--check", action="store_true",
+                      help="compare the run against the baseline snapshot "
+                           "and exit 2 on regression (writes no history "
+                           "snapshot)")
+    gate.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline snapshot from this run")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="baseline snapshot path (default: "
+                            "benchmarks/baseline.json)")
+    bench.add_argument("--only", action="append", default=None,
+                       metavar="NAME",
+                       help="restrict to one scenario (repeatable); "
+                            "--check then gates only those scenarios")
+    bench.add_argument("--fast", action="store_true",
+                       help="run only the scenarios marked fast")
+    bench.add_argument("--device", default=None,
+                       help="device key from the Table 3 registry "
+                            "(default: oneplus_12)")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="suite seed recorded in the fingerprint")
+    bench.add_argument("--out-dir", default=None, metavar="DIR",
+                       help="directory for BENCH_<n>.json history "
+                            "snapshots (default: benchmarks/history; "
+                            "ignored with --check/--update-baseline)")
+    bench.add_argument("--json", default=None, metavar="PATH",
+                       dest="json_out",
+                       help="also write the snapshot JSON to PATH "
+                            "('-' for stdout)")
+    bench.add_argument("--markdown", action="store_true",
+                       help="render the comparison report as markdown")
+    bench.add_argument("--list-scenarios", action="store_true",
+                       help="list registered scenarios and exit")
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -221,7 +267,10 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
                  report_out: Optional[str], out, scheduler: bool = False,
                  candidates: Optional[int] = None,
                  faults: Optional[str] = None,
-                 deadline_ms: Optional[float] = None) -> int:
+                 deadline_ms: Optional[float] = None,
+                 json_out: Optional[str] = None) -> int:
+    import json
+
     from .errors import ObservabilityError, ReproError
     from .harness.report import render_metrics
     from .npu import DEVICES
@@ -232,6 +281,7 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
         engine_utilization,
         get_metrics,
         get_tracer,
+        report_data,
         set_metrics,
         set_tracer,
         text_report,
@@ -342,11 +392,23 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
 
     trace = write_chrome_trace(trace_out, tracer, timing=timing,
                                process_name=f"repro profile ({device_key})")
-    report = text_report(tracer, timing=timing)
+    report = text_report(tracer, timing=timing, metrics=registry)
     if report_out is not None:
         with open(report_out, "w") as handle:
             handle.write(report)
     out.write(report)
+    if json_out is not None:
+        data = report_data(tracer, timing=timing, metrics=registry)
+        data["workload"] = ("scheduler" if workload == "decode" and scheduler
+                            else workload)
+        data["device"] = device_key
+        if json_out == "-":
+            out.write(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        else:
+            with open(json_out, "w") as handle:
+                json.dump(data, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            out.write(f"profile JSON written to {json_out}\n")
     try:
         util = engine_utilization(trace)
     except ObservabilityError:
@@ -363,6 +425,82 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
     out.write(f"\ntrace written to {trace_out} "
               f"({len(trace['traceEvents'])} events); open in "
               f"https://ui.perfetto.dev\n")
+    return 0
+
+
+def _cmd_bench(check: bool, update_baseline: bool, baseline: Optional[str],
+               only, fast: bool, device: Optional[str], seed: int,
+               out_dir: Optional[str], json_out: Optional[str],
+               markdown: bool, list_scenarios: bool, out) -> int:
+    import json
+    import os
+
+    from .obs.bench import (
+        DEFAULT_BASELINE_PATH,
+        DEFAULT_DEVICE,
+        SCENARIOS,
+        BenchError,
+        BenchSnapshot,
+        compare_snapshots,
+        next_snapshot_path,
+        run_suite,
+    )
+
+    if list_scenarios:
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]
+            tag = "fast" if scenario.fast else "slow"
+            out.write(f"{name:<20s} [{tag}] {scenario.description}\n")
+        return 0
+
+    baseline_path = baseline if baseline is not None else DEFAULT_BASELINE_PATH
+    device_key = device if device is not None else DEFAULT_DEVICE
+    snapshot = run_suite(only=only, device_key=device_key, seed=seed,
+                         fast_only=fast)
+    out.write(f"ran {len(snapshot.records)} scenario(s) on {device_key} "
+              f"(seed {seed}, git {snapshot.fingerprint['git_sha'][:12]})\n")
+    for name in sorted(snapshot.records):
+        metrics = snapshot.records[name].metrics
+        sim = metrics.get("sim_seconds")
+        tput = metrics.get("tokens_per_second")
+        parts = [f"  {name:<20s}"]
+        if sim is not None:
+            parts.append(f"sim {sim * 1e3:9.3f} ms")
+        if tput is not None:
+            parts.append(f"{tput:12.1f} tok/s")
+        out.write(" ".join(parts) + "\n")
+
+    if json_out is not None:
+        if json_out == "-":
+            out.write(json.dumps(snapshot.to_json(), indent=2,
+                                 sort_keys=True) + "\n")
+        else:
+            snapshot.write(json_out)
+            out.write(f"snapshot written to {json_out}\n")
+
+    if update_baseline:
+        os.makedirs(os.path.dirname(baseline_path) or ".", exist_ok=True)
+        snapshot.write(baseline_path)
+        out.write(f"baseline updated: {baseline_path}\n")
+        return 0
+
+    if check:
+        try:
+            base = BenchSnapshot.load(baseline_path)
+        except BenchError as error:
+            out.write(f"error: {error}\n")
+            out.write("hint: seed a baseline with "
+                      "'repro bench --update-baseline'\n")
+            return 2
+        report = compare_snapshots(base, snapshot)
+        out.write("\n" + report.render(markdown=markdown) + "\n")
+        return 0 if report.ok else 2
+
+    # plain run: append the snapshot to the bench history
+    history_dir = out_dir if out_dir is not None \
+        else os.path.join("benchmarks", "history")
+    path = snapshot.write(next_snapshot_path(history_dir))
+    out.write(f"snapshot written to {path}\n")
     return 0
 
 
@@ -434,7 +572,13 @@ def _dispatch(args, out) -> int:
                             scheduler=args.scheduler,
                             candidates=args.candidates,
                             faults=args.faults,
-                            deadline_ms=args.deadline_ms)
+                            deadline_ms=args.deadline_ms,
+                            json_out=args.json_out)
+    if args.command == "bench":
+        return _cmd_bench(args.check, args.update_baseline, args.baseline,
+                          args.only, args.fast, args.device, args.seed,
+                          args.out_dir, args.json_out, args.markdown,
+                          args.list_scenarios, out)
     if args.command == "fuzz":
         return _cmd_fuzz(args.trials, args.seed, args.oracle, args.replay,
                          not args.no_shrink, args.list_oracles, out)

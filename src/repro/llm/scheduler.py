@@ -42,6 +42,7 @@ from ..errors import (
 from ..npu.timing import SimClock
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..obs.slo import SLOTracker
 from ..resilience.faults import FaultInjector, FaultPlan, FaultRecord
 from ..resilience.recovery import RetryPolicy
 from .block_pool import PagedKVCache
@@ -159,6 +160,7 @@ class _LiveCandidate:
     tokens: List[int]
     budget: int
     admitted_step: int
+    admitted_sim: float = 0.0
 
     @property
     def last_token(self) -> int:
@@ -237,6 +239,8 @@ class ContinuousBatchingScheduler:
 
         result = ScheduledGeneration(sequences=[], prefill_cost=None,
                                      prompt_tokens=len(prompt))
+        slo = SLOTracker(obs_metrics.get_metrics(),
+                         engine_batch=engine.batch)
         base_governor = engine.governor
         try:
             with obs_trace.span("scheduler.generate", category="scheduler",
@@ -246,7 +250,7 @@ class ContinuousBatchingScheduler:
                                 max_new_tokens=max_new_tokens):
                 self._run(engine, cache, clock, prompt, n_candidates,
                           budgets, sampler, eos_id, injector, policy,
-                          deadline_seconds, base_governor, result)
+                          deadline_seconds, base_governor, result, slo)
         finally:
             if injector is not None:
                 cache.pool.fault_injector = None
@@ -261,7 +265,7 @@ class ContinuousBatchingScheduler:
              budgets: List[int], sampler: Sampler, eos_id: Optional[int],
              injector: Optional[FaultInjector], policy: RetryPolicy,
              deadline_seconds: Optional[float], base_governor,
-             result: ScheduledGeneration) -> None:
+             result: ScheduledGeneration, slo: SLOTracker) -> None:
         wall = time.perf_counter()
         last_logits, prefill_cost = engine.prefill(prompt, seq=0)
         clock.advance(engine._step_seconds(prefill_cost,
@@ -296,7 +300,8 @@ class ContinuousBatchingScheduler:
                     token = int(sampler.sample(last_logits))
                 candidate = _LiveCandidate(
                     candidate_id=next_id, slot=slot, tokens=[token],
-                    budget=budgets[next_id], admitted_step=step)
+                    budget=budgets[next_id], admitted_step=step,
+                    admitted_sim=clock.total_seconds)
                 next_id += 1
                 result.n_admissions += 1
                 self._admissions.inc()
@@ -317,6 +322,9 @@ class ContinuousBatchingScheduler:
                 admitted_step=candidate.admitted_step,
                 finished_step=step, finish_reason=reason))
             self._retired.inc()
+            slo.observe_candidate(
+                candidate.candidate_id,
+                clock.total_seconds - candidate.admitted_sim)
 
         def rebuild_live() -> None:
             # The paged cache may be in an inconsistent mid-forward
@@ -433,8 +441,9 @@ class ContinuousBatchingScheduler:
                             step=step, live_batch=len(slots),
                             blocks_in_use=cache.pool.blocks_in_use):
                         logits, cost = engine.decode_step(tokens, slots)
-                    clock.advance(engine._step_seconds(
-                        cost, time.perf_counter() - wall))
+                    step_seconds = engine._step_seconds(
+                        cost, time.perf_counter() - wall)
+                    clock.advance(step_seconds)
                     break
                 except SessionAbortError:
                     attempt += 1
@@ -463,6 +472,9 @@ class ContinuousBatchingScheduler:
                 continue
             result.decode_costs.append(cost)
             result.live_batch_per_step.append(len(slots))
+            slo.observe_step(step_seconds,
+                             [live[s].candidate_id for s in slots
+                              if s in live])
             step += 1
             next_tokens = sampler.sample_batch(logits)
             for i, slot in enumerate(slots):

@@ -20,10 +20,24 @@ or use the ``python -m repro profile`` CLI, which wires this up around a
 generation or TTS sweep.
 """
 
+from .bench import (
+    BenchError,
+    BenchRecord,
+    BenchScenario,
+    BenchSnapshot,
+    ComparisonReport,
+    SCENARIOS,
+    Threshold,
+    bench_scenario,
+    compare_snapshots,
+    run_scenario,
+    run_suite,
+)
 from .export import (
     ENGINE_LANES,
     chrome_trace,
     engine_utilization,
+    report_data,
     text_report,
     write_chrome_trace,
 )
@@ -38,14 +52,30 @@ from .metrics import (
     histogram,
     set_metrics,
 )
+from .slo import SLOTracker, hdr_buckets, slo_summary
 from .trace import NULL_SPAN, Span, Tracer, enabled, get_tracer, set_tracer, span
 
 __all__ = [
+    "BenchError",
+    "BenchRecord",
+    "BenchScenario",
+    "BenchSnapshot",
+    "ComparisonReport",
+    "SCENARIOS",
+    "Threshold",
+    "bench_scenario",
+    "compare_snapshots",
+    "run_scenario",
+    "run_suite",
     "ENGINE_LANES",
     "chrome_trace",
     "engine_utilization",
+    "report_data",
     "text_report",
     "write_chrome_trace",
+    "SLOTracker",
+    "hdr_buckets",
+    "slo_summary",
     "Counter",
     "Gauge",
     "Histogram",

@@ -36,6 +36,7 @@ __all__ = [
     "write_chrome_trace",
     "engine_utilization",
     "text_report",
+    "report_data",
 ]
 
 _PID = 1
@@ -227,9 +228,99 @@ def _aggregate_tree(spans: List[Span]) -> Dict[tuple, Dict[str, float]]:
     return paths
 
 
+def _scheduler_stats(spans: List[Span]) -> Optional[Dict[str, float]]:
+    """Continuous-batching stats from scheduler spans, or ``None``."""
+    steps = [s for s in spans
+             if s.category == "scheduler" and s.name == "scheduler.step"]
+    if not steps:
+        return None
+    live = [int(s.attrs.get("live_batch", 0)) for s in steps]
+    blocks = [int(s.attrs.get("blocks_in_use", 0)) for s in steps]
+    admits = sum(1 for s in spans if s.name == "scheduler.admit")
+    return {
+        "decode_steps": len(steps),
+        "admissions": admits,
+        "mean_live_batch": sum(live) / len(live),
+        "peak_kv_blocks": max(blocks),
+    }
+
+
+def _resilience_stats(spans: List[Span]) -> Optional[Dict[str, Any]]:
+    """Chaos-mode counters from resilience spans, or ``None``."""
+    resilience = [s for s in spans if s.category == "resilience"]
+    if not resilience:
+        return None
+    by_name: Dict[str, int] = {}
+    for span in resilience:
+        by_name[span.name] = by_name.get(span.name, 0) + 1
+    fault_kinds: Dict[str, int] = {}
+    for span in resilience:
+        if span.name == "resilience.fault":
+            kind = str(span.attrs.get("kind", "?"))
+            fault_kinds[kind] = fault_kinds.get(kind, 0) + 1
+    governors = sorted({str(s.attrs["governor"]) for s in resilience
+                        if s.name == "resilience.throttle"
+                        and "governor" in s.attrs})
+    return {
+        "faults": by_name.get("resilience.fault", 0),
+        "fault_kinds": fault_kinds,
+        "retries": by_name.get("resilience.retry", 0),
+        "rebuilds": by_name.get("resilience.rebuild", 0),
+        "evictions": by_name.get("resilience.evict", 0),
+        "throttles": by_name.get("resilience.throttle", 0),
+        "deadline_hits": by_name.get("resilience.deadline", 0),
+        "degradations": (by_name.get("resilience.degrade", 0)
+                         + by_name.get("resilience.tts_degrade", 0)),
+        "governors": governors,
+    }
+
+
+def _kernel_attribution(spans: List[Span],
+                        timing: Any) -> Dict[str, Dict[str, float]]:
+    """Per-kernel simulated engine seconds (deepest attribution only)."""
+    costed: Dict[str, Dict[str, float]] = {}
+    for span in _leaf_cost_spans(spans):
+        cost = span.total_cost()
+        if cost is None:
+            continue
+        entry = costed.setdefault(span.name, {
+            "count": 0, "sim": 0.0, "hmx": 0.0, "hvx": 0.0, "dma": 0.0})
+        entry["count"] += 1
+        entry["sim"] += float(timing.seconds(cost))
+        engines = _engine_seconds(timing, cost)
+        entry["hmx"] += engines["HMX"]
+        entry["hvx"] += engines["HVX"]
+        entry["dma"] += engines["DMA"]
+    return costed
+
+
+def _metrics_snapshot(metrics: Optional[Any]) -> Dict[str, Dict[str, Any]]:
+    """Normalize a registry-or-snapshot argument to a snapshot dict."""
+    if metrics is None:
+        return {}
+    if hasattr(metrics, "snapshot"):
+        return metrics.snapshot()
+    return dict(metrics)
+
+
+def _slo_sections(metrics: Optional[Any]) -> Dict[str, Dict[str, float]]:
+    from .slo import slo_summary
+
+    snapshot = _metrics_snapshot(metrics)
+    if not snapshot:
+        return {}
+    return slo_summary(snapshot)
+
+
 def text_report(source: Union[Tracer, Sequence[Span]],
-                timing: Optional[Any] = None) -> str:
-    """Flamegraph-style text report: span tree plus kernel attribution."""
+                timing: Optional[Any] = None,
+                metrics: Optional[Any] = None) -> str:
+    """Flamegraph-style text report: span tree plus kernel attribution.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry` or its
+    snapshot dict) adds the SLO section — p50/p95/p99 token-latency
+    percentiles recorded by the scheduler/engine hot paths.
+    """
     spans = _spans_of(source)
     lines: List[str] = []
     if not spans:
@@ -256,64 +347,46 @@ def text_report(source: Union[Tracer, Sequence[Span]],
 
     emit((), 0)
 
-    steps = [s for s in spans
-             if s.category == "scheduler" and s.name == "scheduler.step"]
-    if steps:
-        live = [int(s.attrs.get("live_batch", 0)) for s in steps]
-        blocks = [int(s.attrs.get("blocks_in_use", 0)) for s in steps]
-        admits = sum(1 for s in spans if s.name == "scheduler.admit")
+    scheduler = _scheduler_stats(spans)
+    if scheduler is not None:
         lines.append("")
         lines.append("== continuous-batching scheduler ==")
-        lines.append(f"decode steps       {len(steps)}")
-        lines.append(f"admissions         {admits}")
-        lines.append(f"mean live batch    {sum(live) / len(live):.2f}")
-        lines.append(f"peak KV blocks     {max(blocks)}")
+        lines.append(f"decode steps       {scheduler['decode_steps']}")
+        lines.append(f"admissions         {scheduler['admissions']}")
+        lines.append(f"mean live batch    {scheduler['mean_live_batch']:.2f}")
+        lines.append(f"peak KV blocks     {scheduler['peak_kv_blocks']}")
 
-    resilience = [s for s in spans if s.category == "resilience"]
-    if resilience:
-        by_name: Dict[str, int] = {}
-        for span in resilience:
-            by_name[span.name] = by_name.get(span.name, 0) + 1
-        fault_kinds: Dict[str, int] = {}
-        for span in resilience:
-            if span.name == "resilience.fault":
-                kind = str(span.attrs.get("kind", "?"))
-                fault_kinds[kind] = fault_kinds.get(kind, 0) + 1
+    resilience = _resilience_stats(spans)
+    if resilience is not None:
         lines.append("")
         lines.append("== resilience (chaos mode) ==")
-        lines.append(f"faults injected    {by_name.get('resilience.fault', 0)}")
-        for kind in sorted(fault_kinds):
-            lines.append(f"  {kind:<17s}{fault_kinds[kind]}")
-        lines.append(f"retries            {by_name.get('resilience.retry', 0)}")
-        lines.append(f"KV rebuilds        "
-                     f"{by_name.get('resilience.rebuild', 0)}")
-        lines.append(f"evictions          {by_name.get('resilience.evict', 0)}")
-        lines.append(f"throttle events    "
-                     f"{by_name.get('resilience.throttle', 0)}")
-        lines.append(f"deadline hits      "
-                     f"{by_name.get('resilience.deadline', 0)}")
-        lines.append(f"degradations       "
-                     f"{by_name.get('resilience.degrade', 0) + by_name.get('resilience.tts_degrade', 0)}")
-        governors = [str(s.attrs["governor"]) for s in resilience
-                     if s.name == "resilience.throttle"
-                     and "governor" in s.attrs]
-        if governors:
-            lines.append(f"governors hit      {', '.join(sorted(set(governors)))}")
+        lines.append(f"faults injected    {resilience['faults']}")
+        for kind in sorted(resilience["fault_kinds"]):
+            lines.append(f"  {kind:<17s}{resilience['fault_kinds'][kind]}")
+        lines.append(f"retries            {resilience['retries']}")
+        lines.append(f"KV rebuilds        {resilience['rebuilds']}")
+        lines.append(f"evictions          {resilience['evictions']}")
+        lines.append(f"throttle events    {resilience['throttles']}")
+        lines.append(f"deadline hits      {resilience['deadline_hits']}")
+        lines.append(f"degradations       {resilience['degradations']}")
+        if resilience["governors"]:
+            lines.append(
+                f"governors hit      {', '.join(resilience['governors'])}")
+
+    slo = _slo_sections(metrics)
+    if slo:
+        lines.append("")
+        lines.append("== SLO token-latency percentiles (simulated) ==")
+        lines.append(f"{'histogram':<44s} {'count':>7s} {'p50 us':>10s} "
+                     f"{'p95 us':>10s} {'p99 us':>10s}")
+        for name, entry in slo.items():
+            lines.append(f"{name:<44s} {int(entry['count']):>7d} "
+                         f"{entry['p50'] * 1e6:>10.1f} "
+                         f"{entry['p95'] * 1e6:>10.1f} "
+                         f"{entry['p99'] * 1e6:>10.1f}")
 
     if timing is not None:
-        costed: Dict[str, Dict[str, float]] = {}
-        for span in _leaf_cost_spans(spans):
-            cost = span.total_cost()
-            if cost is None:
-                continue
-            entry = costed.setdefault(span.name, {
-                "count": 0, "sim": 0.0, "hmx": 0.0, "hvx": 0.0, "dma": 0.0})
-            entry["count"] += 1
-            entry["sim"] += float(timing.seconds(cost))
-            engines = _engine_seconds(timing, cost)
-            entry["hmx"] += engines["HMX"]
-            entry["hvx"] += engines["HVX"]
-            entry["dma"] += engines["DMA"]
+        costed = _kernel_attribution(spans, timing)
         if costed:
             sim_total = sum(e["sim"] for e in costed.values()) or 1e-12
             lines.append("")
@@ -331,3 +404,43 @@ def text_report(source: Union[Tracer, Sequence[Span]],
                     f"{entry['hvx'] * 1e6:>10.1f} "
                     f"{entry['dma'] * 1e6:>10.1f}")
     return "\n".join(lines) + "\n"
+
+
+def report_data(source: Union[Tracer, Sequence[Span]],
+                timing: Optional[Any] = None,
+                metrics: Optional[Any] = None) -> Dict[str, Any]:
+    """Structured counterpart of :func:`text_report` for ``--json``.
+
+    Returns a JSON-serializable dict with the same information the text
+    report renders: the folded span tree, scheduler/resilience stats,
+    per-kernel simulated attribution (when ``timing`` is given), SLO
+    percentiles and the full metrics snapshot (when ``metrics`` is
+    given).  Empty sections are ``None``/empty rather than absent, so
+    consumers can rely on the schema.
+    """
+    spans = _spans_of(source)
+    paths = _aggregate_tree(spans)
+    span_tree = [
+        {"path": list(path), "count": int(entry["count"]),
+         "seconds": entry["seconds"]}
+        for path, entry in sorted(
+            paths.items(), key=lambda kv: (len(kv[0]), -kv[1]["seconds"]))]
+    kernels: List[Dict[str, Any]] = []
+    if timing is not None:
+        costed = _kernel_attribution(spans, timing)
+        kernels = [
+            {"kernel": name, "count": int(entry["count"]),
+             "sim_seconds": entry["sim"], "hmx_seconds": entry["hmx"],
+             "hvx_seconds": entry["hvx"], "dma_seconds": entry["dma"]}
+            for name in sorted(costed, key=lambda n: -costed[n]["sim"])
+            for entry in [costed[name]]]
+    return {
+        "schema": "repro.profile/v1",
+        "n_spans": len(spans),
+        "span_tree": span_tree,
+        "scheduler": _scheduler_stats(spans),
+        "resilience": _resilience_stats(spans),
+        "kernels": kernels,
+        "slo": _slo_sections(metrics),
+        "metrics": _metrics_snapshot(metrics),
+    }

@@ -83,9 +83,16 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket histogram with interpolated quantile summaries."""
+    """Fixed-bucket histogram with interpolated quantile summaries.
 
-    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+    Values above the last bucket bound land in an implicit +inf bucket
+    and are additionally counted in ``overflow`` — a saturated histogram
+    is visible in every snapshot instead of silently degrading its upper
+    quantiles to a single ``max``-anchored estimate.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min",
+                 "max", "overflow")
 
     def __init__(self, name: str,
                  buckets: Optional[Sequence[float]] = None) -> None:
@@ -101,9 +108,13 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.overflow = 0
 
     def observe(self, value: float) -> None:
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        index = bisect.bisect_left(self.buckets, value)
+        self.counts[index] += 1
+        if index == len(self.buckets):
+            self.overflow += 1
         self.count += 1
         self.total += value
         self.min = min(self.min, value)
@@ -134,6 +145,22 @@ class Histogram:
             seen += n
         return self.max
 
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (``p`` in [0, 100]).
+
+        Accuracy caveat: with fixed buckets the estimate interpolates
+        linearly inside the landing bucket, so the error is bounded by
+        that bucket's width (relative error bounded by the bucket ratio
+        for geometric schemes such as :func:`~repro.obs.slo.hdr_buckets`).
+        Percentiles that land in the overflow bucket (beyond the last
+        bound) interpolate between the last bound and the observed
+        ``max`` — check ``overflow`` before trusting the tail.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ObservabilityError(
+                f"percentile must be in [0, 100], got {p}")
+        return self.quantile(p / 100.0)
+
     def summary(self) -> Dict[str, float]:
         return {
             "count": self.count,
@@ -143,6 +170,7 @@ class Histogram:
             "p99": self.quantile(0.99),
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
+            "overflow": self.overflow,
         }
 
     def snapshot(self) -> Dict[str, Any]:

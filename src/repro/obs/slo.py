@@ -1,0 +1,171 @@
+"""SLO observability: HDR-style latency histograms for the serving path.
+
+The paper's serving claims are latency-shaped — tokens/s at a batch
+size, makespan of a Best-of-N wave — but means hide exactly the tail
+behavior a serving SLO cares about.  This module gives the scheduler hot
+path cheap streaming percentiles:
+
+* :func:`hdr_buckets` builds HdrHistogram-style bucket bounds: each
+  power-of-two range ("octave") is split into ``2**precision_bits``
+  linear sub-buckets, so the relative width of every bucket — and hence
+  the relative error of an interpolated percentile — is bounded by
+  ``1 / 2**precision_bits`` regardless of where in the range a value
+  lands.
+* :class:`SLOTracker` owns the token-latency histograms the
+  continuous-batching scheduler records into: per decode step, per
+  token, per admission wave, and per candidate lifetime.  All of them
+  are plain :class:`~repro.obs.metrics.Histogram` instruments living in
+  a :class:`~repro.obs.metrics.MetricsRegistry`, so they appear in every
+  metrics snapshot, the ``repro profile`` report and the bench
+  snapshots without extra plumbing.
+
+Naming: everything lives under ``repro.slo.*``; per-wave instruments
+are ``repro.slo.wave<k>.token_latency_seconds`` (wave ``k`` =
+``candidate_id // engine_batch``, the lock-step wave the candidate
+would have belonged to).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import ObservabilityError
+from .metrics import Histogram, MetricsRegistry, get_metrics
+
+__all__ = ["hdr_buckets", "SLOTracker", "slo_summary", "SLO_PERCENTILES"]
+
+SLO_PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Cap on distinct per-wave histograms; waves beyond it aggregate into
+#: the last tracked wave's instrument so metric cardinality stays
+#: bounded even for huge candidate budgets.
+MAX_TRACKED_WAVES = 32
+
+
+def hdr_buckets(min_value: float, max_value: float,
+                precision_bits: int = 2) -> List[float]:
+    """HdrHistogram-style bounds from ``min_value`` to >= ``max_value``.
+
+    Every power-of-two octave ``[v, 2v)`` is split into
+    ``2**precision_bits`` equal-width sub-buckets, bounding the relative
+    quantile-interpolation error at ``2**-precision_bits``.  The default
+    (4 sub-buckets per octave) keeps the scheduler's latency histograms
+    at a few dozen buckets across nine decades.
+    """
+    if min_value <= 0.0 or max_value <= min_value:
+        raise ObservabilityError(
+            f"hdr_buckets needs 0 < min < max, got [{min_value}, {max_value}]")
+    if not 0 <= precision_bits <= 8:
+        raise ObservabilityError(
+            f"precision_bits must be in [0, 8], got {precision_bits}")
+    sub = 2 ** precision_bits
+    bounds: List[float] = []
+    base = float(min_value)
+    while base < max_value:
+        width = base / sub
+        for i in range(1, sub + 1):
+            bound = base + i * width
+            if not bounds or bound > bounds[-1]:
+                bounds.append(bound)
+        base *= 2.0
+    return bounds
+
+
+def _default_latency_buckets() -> List[float]:
+    """1 microsecond .. ~134 simulated seconds, 4 sub-buckets/octave."""
+    return hdr_buckets(1e-6, 134.0, precision_bits=2)
+
+
+class SLOTracker:
+    """Records serving-path latency histograms into a metrics registry.
+
+    One tracker is created per scheduler run (it binds instruments from
+    whatever registry is installed at construction), so a profiled or
+    benched run that installs a fresh registry starts its percentiles
+    from zero.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 engine_batch: int = 1,
+                 buckets: Optional[List[float]] = None) -> None:
+        if engine_batch <= 0:
+            raise ObservabilityError(
+                f"engine_batch must be positive, got {engine_batch}")
+        self._registry = registry if registry is not None else get_metrics()
+        self._engine_batch = engine_batch
+        self._buckets = buckets if buckets is not None \
+            else _default_latency_buckets()
+        self._step = self._histogram("repro.slo.step_latency_seconds")
+        self._token = self._histogram("repro.slo.token_latency_seconds")
+        self._candidate = self._histogram(
+            "repro.slo.candidate_latency_seconds")
+        self._waves: Dict[int, Histogram] = {}
+
+    def _histogram(self, name: str) -> Histogram:
+        return self._registry.histogram(name, self._buckets)
+
+    def _wave_histogram(self, wave: int) -> Histogram:
+        wave = min(wave, MAX_TRACKED_WAVES - 1)
+        hist = self._waves.get(wave)
+        if hist is None:
+            hist = self._histogram(
+                f"repro.slo.wave{wave}.token_latency_seconds")
+            self._waves[wave] = hist
+        return hist
+
+    # ------------------------------------------------------------------
+    def wave_of(self, candidate_id: int) -> int:
+        """Lock-step wave index a candidate would have belonged to."""
+        return candidate_id // self._engine_batch
+
+    def observe_step(self, sim_seconds: float,
+                     live_candidate_ids: "List[int]") -> None:
+        """Record one decode step: step latency plus one token latency
+        per live candidate (each live candidate commits one token per
+        step, so the step's simulated latency *is* its token latency)."""
+        self._step.observe(sim_seconds)
+        for candidate_id in live_candidate_ids:
+            self._token.observe(sim_seconds)
+            self._wave_histogram(self.wave_of(candidate_id)).observe(
+                sim_seconds)
+
+    def observe_candidate(self, candidate_id: int,
+                          latency_seconds: float) -> None:
+        """Record one candidate's admission-to-retire simulated latency."""
+        self._candidate.observe(latency_seconds)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Percentile summary of every SLO instrument recorded so far."""
+        return slo_summary(self._registry)
+
+
+def slo_summary(source: Union[MetricsRegistry, Dict[str, Dict[str, Any]]]
+                ) -> Dict[str, Dict[str, float]]:
+    """Extract ``repro.slo.*`` histogram summaries from a registry or a
+    registry snapshot, keyed by metric name.
+
+    The engine's lock-step decode histogram
+    (``repro.engine.decode_step_seconds``) is included too so
+    non-scheduler runs still report token-latency percentiles.
+    """
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) \
+        else source
+    out: Dict[str, Dict[str, float]] = {}
+    for name, entry in sorted(snapshot.items()):
+        if entry.get("type") != "histogram":
+            continue
+        if not (name.startswith("repro.slo.")
+                or name == "repro.engine.decode_step_seconds"):
+            continue
+        if not entry.get("count"):
+            continue
+        out[name] = {
+            "count": float(entry["count"]),
+            "mean": float(entry["mean"]),
+            "p50": float(entry["p50"]),
+            "p95": float(entry["p95"]),
+            "p99": float(entry["p99"]),
+            "max": float(entry["max"]),
+        }
+    return out

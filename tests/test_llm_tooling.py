@@ -259,3 +259,76 @@ class TestCLI:
         assert status == 0
         assert get_tracer() is before
         assert not enabled()
+
+    def test_profile_json_out(self, tmp_path):
+        json_path = tmp_path / "profile.json"
+        status, text = self._run([
+            "profile", "--scheduler", "--batch", "2", "--candidates", "4",
+            "--prompt-tokens", "3", "--new-tokens", "3",
+            "--trace-out", str(tmp_path / "t.json"),
+            "--json", str(json_path)])
+        assert status == 0
+        with open(json_path) as handle:
+            data = json.load(handle)
+        assert data["schema"] == "repro.profile/v1"
+        assert data["n_spans"] > 0
+        assert data["scheduler"]["decode_steps"] > 0
+        assert data["slo"]  # scheduler runs report SLO percentiles
+        assert "repro.slo.token_latency_seconds" in data["slo"]
+        assert data["workload"] == "scheduler"
+        assert "SLO token-latency percentiles" in text
+
+    def test_profile_json_to_stdout(self, tmp_path):
+        status, text = self._run([
+            "profile", "--batch", "2", "--prompt-tokens", "2",
+            "--new-tokens", "2", "--trace-out", str(tmp_path / "t.json"),
+            "--json", "-"])
+        assert status == 0
+        payload, _ = json.JSONDecoder().raw_decode(text, text.index("{"))
+        assert payload["schema"] == "repro.profile/v1"
+
+    def test_bench_full_suite_snapshot_and_check(self, tmp_path):
+        from repro.obs.bench import validate_snapshot
+
+        baseline = tmp_path / "baseline.json"
+        status, text = self._run([
+            "bench", "--update-baseline", "--baseline", str(baseline)])
+        assert status == 0, text
+        with open(baseline) as handle:
+            data = json.load(handle)
+        validate_snapshot(data)
+        assert len(data["records"]) >= 6
+        # deterministic sim metrics: an immediate re-run gates clean
+        status, text = self._run([
+            "bench", "--check", "--baseline", str(baseline)])
+        assert status == 0, text
+        assert "verdict: OK" in text
+
+    def test_bench_run_writes_history_snapshot(self, tmp_path):
+        out_dir = tmp_path / "history"
+        status, text = self._run([
+            "bench", "run", "--only", "kernel.gemm",
+            "--only", "kernel.attention", "--out-dir", str(out_dir)])
+        assert status == 0
+        assert (out_dir / "BENCH_0.json").exists()
+        assert "kernel.gemm" in text
+
+    def test_bench_check_detects_doctored_baseline(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        status, _ = self._run([
+            "bench", "--update-baseline", "--baseline", str(baseline),
+            "--only", "kernel.gemm"])
+        assert status == 0
+        data = json.loads(baseline.read_text())
+        data["records"]["kernel.gemm"]["metrics"]["sim_seconds"] /= 1.2
+        baseline.write_text(json.dumps(data))
+        status, text = self._run([
+            "bench", "--check", "--baseline", str(baseline),
+            "--only", "kernel.gemm", "--markdown"])
+        assert status == 2
+        assert "REGRESSION" in text
+
+    def test_bench_unknown_scenario(self):
+        status, text = self._run(["bench", "run", "--only", "nope"])
+        assert status == 2
+        assert "unknown bench scenario" in text

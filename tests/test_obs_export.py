@@ -12,9 +12,11 @@ from repro.obs.export import (
     ENGINE_LANES,
     chrome_trace,
     engine_utilization,
+    report_data,
     text_report,
     write_chrome_trace,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
 
@@ -162,3 +164,101 @@ class TestTextReport:
         report = text_report(make_traced_run())
         assert "span tree" in report
         assert "attribution" not in report
+
+    def test_metrics_add_slo_section(self, timing):
+        reg = MetricsRegistry()
+        for v in (1e-4, 2e-4, 3e-4):
+            reg.histogram("repro.slo.token_latency_seconds").observe(v)
+        report = text_report(make_traced_run(), timing=timing, metrics=reg)
+        assert "SLO token-latency percentiles (simulated)" in report
+        assert "repro.slo.token_latency_seconds" in report
+        # a snapshot dict works too (what the JSON pipeline carries)
+        from_snap = text_report(make_traced_run(), metrics=reg.snapshot())
+        assert "repro.slo.token_latency_seconds" in from_snap
+
+    def test_without_metrics_no_slo_section(self, timing):
+        assert "SLO" not in text_report(make_traced_run(), timing=timing)
+
+
+class TestExportEdgeCases:
+    """Degenerate traces must export, not crash (satellite: obs.export)."""
+
+    def test_empty_tracer_chrome_trace(self, timing):
+        trace = chrome_trace(Tracer(), timing=timing)
+        json.dumps(trace)  # serializable
+        assert all(e["ph"] == "M" for e in trace["traceEvents"])
+        with pytest.raises(ObservabilityError):
+            engine_utilization(trace)
+
+    def test_empty_tracer_report_data(self):
+        data = report_data(Tracer())
+        assert data["n_spans"] == 0
+        assert data["span_tree"] == []
+        assert data["scheduler"] is None
+        assert data["resilience"] is None
+
+    def test_zero_duration_spans(self, timing):
+        tracer = Tracer(clock=lambda: 0.0)  # every span starts and ends at 0
+        with tracer.span("outer"):
+            with tracer.span("inner", category="kernel") as k:
+                k.add_cost(KernelCost(hvx_packets=10))
+        trace = chrome_trace(tracer, timing=timing)
+        host = [e for e in trace["traceEvents"] if e["ph"] == "X"
+                and e.get("cat") != "sim.engine"]
+        assert all(e["dur"] == 0.0 for e in host)
+        report = text_report(tracer, timing=timing)  # no ZeroDivisionError
+        assert "span tree" in report
+        assert report_data(tracer, timing=timing)["n_spans"] == 2
+
+    def test_open_span_at_export_does_not_crash(self, timing):
+        tracer = Tracer()
+        active = tracer.span("outer", category="engine")
+        active.__enter__()
+        with tracer.span("inner", category="kernel") as k:
+            k.add_cost(KernelCost(hmx_tile_macs=8))
+        # export while "outer" is still open: only the finished child is
+        # visible, with its unfinished parent degraded to a root
+        trace = chrome_trace(tracer, timing=timing)
+        json.dumps(trace)
+        names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert "inner" in names and "outer" not in names
+        report = text_report(tracer, timing=timing)
+        assert "inner" in report
+        assert report_data(tracer, timing=timing)["n_spans"] == 1
+        active.__exit__(None, None, None)
+        assert len(tracer.finished_spans()) == 2
+
+    def test_negative_duration_clamped(self):
+        from repro.obs.trace import Span
+
+        spans = [Span(name="weird", category="x", start=10.0, end=9.0,
+                      index=0)]
+        trace = chrome_trace(spans)
+        (event,) = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert event["dur"] == 0.0
+        text_report(spans)  # must not crash
+
+
+class TestReportData:
+    def test_schema_and_sections(self, timing):
+        reg = MetricsRegistry()
+        reg.histogram("repro.slo.step_latency_seconds").observe(1e-3)
+        reg.counter("repro.scheduler.admitted").inc(4)
+        data = report_data(make_traced_run(), timing=timing, metrics=reg)
+        assert data["schema"] == "repro.profile/v1"
+        assert data["n_spans"] == 4
+        json.dumps(data)  # fully serializable
+        roots = [e for e in data["span_tree"] if len(e["path"]) == 1]
+        assert roots[0]["path"] == ["engine.decode_step"]
+        kernels = {k["kernel"] for k in data["kernels"]}
+        assert kernels == {"kernel.gemm", "kernel.softmax"}  # leaf-only
+        for entry in data["kernels"]:
+            assert entry["sim_seconds"] > 0.0
+        assert "repro.slo.step_latency_seconds" in data["slo"]
+        assert data["metrics"]["repro.scheduler.admitted"]["value"] == 4.0
+
+    def test_without_timing_kernels_empty(self):
+        data = report_data(make_traced_run())
+        assert data["kernels"] == []
+        assert data["slo"] == {}
+        assert data["metrics"] == {}

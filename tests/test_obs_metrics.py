@@ -101,6 +101,48 @@ class TestHistogram:
         assert h.count == 1
         assert h.quantile(0.5) == pytest.approx(100.0)
 
+    def test_overflow_counted_and_snapshotted(self):
+        h = Histogram("repro.test.h", buckets=[1.0, 2.0])
+        h.observe(0.5)
+        h.observe(1.5)
+        assert h.overflow == 0
+        h.observe(2.5)   # beyond the last bucket edge
+        h.observe(999.0)
+        assert h.overflow == 2
+        assert h.count == 4
+        assert h.snapshot()["overflow"] == 2
+        # the boundary value itself lands in the last real bucket
+        h2 = Histogram("repro.test.h2", buckets=[1.0, 2.0])
+        h2.observe(2.0)
+        assert h2.overflow == 0
+
+    def test_saturated_tail_quantile_anchored_to_max(self):
+        """Beyond the last edge, quantiles interpolate up to the observed
+        max instead of silently clamping to the bucket bound."""
+        h = Histogram("repro.test.h", buckets=[1.0])
+        for v in (10.0, 20.0, 30.0):
+            h.observe(v)
+        assert h.overflow == 3
+        assert h.quantile(1.0) == pytest.approx(30.0)
+        assert 1.0 <= h.quantile(0.5) <= 30.0
+
+    def test_percentile_is_quantile_in_percent_units(self):
+        h = Histogram("repro.test.h",
+                      buckets=[float(b) for b in range(10, 101, 10)])
+        for v in range(1, 101):
+            h.observe(float(v))
+        for p in (0.0, 50.0, 95.0, 99.0, 100.0):
+            assert h.percentile(p) == pytest.approx(h.quantile(p / 100.0))
+        # bucket-boundary error is bounded by one bucket width
+        assert h.percentile(95.0) == pytest.approx(95.0, abs=10.0)
+
+    def test_percentile_bounds_checked(self):
+        h = Histogram("repro.test.h", buckets=[1.0])
+        with pytest.raises(ObservabilityError):
+            h.percentile(101.0)
+        with pytest.raises(ObservabilityError):
+            h.percentile(-0.1)
+
     def test_default_buckets_cover_latency_range(self):
         h = Histogram("repro.test.h")
         h.observe(3e-6)
