@@ -162,3 +162,110 @@ def test_slo_recording_overhead_in_scheduler_step_loop():
         f"{record_seconds * 1e3:.3f} ms, {100 * overhead:.2f}% of the "
         f"{run_seconds * 1e3:.1f} ms scheduler run "
         f"(limit {100 * MAX_OVERHEAD_FRACTION:.0f}%)")
+
+
+def test_disabled_event_log_fast_path_is_allocation_free():
+    """With the log disabled (the shipped default) every emit site pays
+    one guarded method call that retains nothing."""
+    import tracemalloc
+
+    from repro.obs.timeline import EventLog
+
+    log = EventLog(enabled=False)
+    assert log.emit("decode_step", 0.0, step=1, seconds=1e-4) is None
+
+    def burst() -> None:
+        emit = log.emit
+        for i in range(10_000):
+            emit("decode_step", 1e-4 * i, step=i, seconds=1e-4,
+                 live_batch=4, joules=1e-6)
+
+    burst()  # warm caches before measuring
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    burst()
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert after - before < 4096, (
+        f"disabled emit loop retained {after - before} bytes")
+    assert len(log) == 0
+
+
+def test_anomaly_detection_overhead_under_5_percent_of_scheduler_run():
+    """Folding the event log into windows and running the full detector
+    bank over the monitor's watched series must stay a rounding error of
+    the scheduler run that produced the events."""
+    import tracemalloc
+
+    from repro.llm import ContinuousBatchingScheduler
+    from repro.obs.anomaly import default_detectors, detect_series
+    from repro.obs.monitor import WATCHED_SERIES
+    from repro.obs.stream import stream_from_log
+    from repro.obs.timeline import EventLog, set_event_log
+
+    weights = TransformerWeights.generate(tiny_config(), seed=0)
+    engine = InferenceEngine(NPUTransformer(weights), batch=BATCH,
+                             max_context=32, kv_backend="paged")
+    scheduler = ContinuousBatchingScheduler(engine)
+
+    def run_scheduler() -> EventLog:
+        log = EventLog(enabled=True)
+        previous = set_event_log(log)
+        try:
+            scheduler.generate(PROMPT, n_candidates=4, max_new_tokens=4,
+                               sampler=Sampler(temperature=1.0, seed=0))
+        finally:
+            set_event_log(previous)
+        return log
+
+    log = run_scheduler()  # warm-up; keeps a representative log
+    assert len(log) > 0
+    run_seconds = min(_timed(run_scheduler) for _ in range(3))
+
+    start, end = log.span()
+    window_seconds = max((end - start) / 8, 1e-9)
+
+    def analyze() -> None:
+        stream = stream_from_log(log, window_seconds=window_seconds)
+        windows = stream.windows()
+        for metric, stat, detector_names, require_samples in WATCHED_SERIES:
+            points = [(w.index, w.start, w.value(metric, stat))
+                      for w in windows
+                      if not require_samples
+                      or w.value(metric, "count") > 0.0]
+            detectors = [d for d in default_detectors()
+                         if d.name in detector_names]
+            detect_series(metric, points, detectors)
+
+    analyze()  # warm-up
+    analyze_seconds = min(_timed(analyze) for _ in range(5))
+
+    overhead = analyze_seconds / run_seconds
+    assert overhead < MAX_OVERHEAD_FRACTION, (
+        f"stream fold + detector bank over {len(log)} events cost "
+        f"{analyze_seconds * 1e3:.3f} ms, {100 * overhead:.2f}% of the "
+        f"{run_seconds * 1e3:.1f} ms scheduler run "
+        f"(limit {100 * MAX_OVERHEAD_FRACTION:.0f}%)")
+
+
+def test_online_detectors_hold_constant_memory():
+    """Streaming detectors keep O(1)/O(window) state: feeding 10k points
+    must not accumulate memory proportional to the series length."""
+    import tracemalloc
+
+    from repro.obs.anomaly import default_detectors
+
+    detectors = default_detectors()
+    for detector in detectors:  # warm internal state past any warmup
+        for i in range(1_000):
+            detector.observe(1.0 + (i % 7) * 1e-3)
+
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    for detector in detectors:
+        for i in range(10_000):
+            detector.observe(1.0 + (i % 7) * 1e-3)
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert after - before < 16_384, (
+        f"detector bank retained {after - before} bytes over 10k points")

@@ -9,6 +9,8 @@ Commands:
 * ``sweep <model> <dataset>`` — test-time-scaling budget sweep;
 * ``profile`` — trace a workload, export Perfetto JSON + text report;
 * ``bench`` — run the benchmark suite, snapshot it, gate on regressions;
+* ``monitor`` — replay a scenario and render timeline/stream/anomaly/
+  energy telemetry (schema ``repro.monitor/v1`` with ``--json``);
 * ``fuzz`` — seeded differential fuzzing over the oracle registry;
 * ``goldens`` — check/update the committed golden fixtures.
 """
@@ -132,6 +134,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="render the comparison report as markdown")
     bench.add_argument("--list-scenarios", action="store_true",
                        help="list registered scenarios and exit")
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="replay a bench scenario with the event log armed and render "
+             "windowed streams, per-request timelines, anomalies, and "
+             "energy attribution")
+    monitor.add_argument("--scenario", default="chaos.waves",
+                         help="registered bench scenario to replay "
+                              "(default: chaos.waves; see "
+                              "'repro bench --list-scenarios')")
+    monitor.add_argument("--device", default="oneplus_12",
+                         help="device key from the Table 3 registry")
+    monitor.add_argument("--seed", type=int, default=0,
+                         help="scenario seed; the report is a pure function "
+                              "of (scenario, device, seed)")
+    monitor.add_argument("--windows", type=int, default=8,
+                         help="number of equal sim-time windows to fold the "
+                              "run into (ignored with --window-ms)")
+    monitor.add_argument("--window-ms", type=float, default=None,
+                         help="explicit window width in simulated "
+                              "milliseconds")
+    monitor.add_argument("--json", default=None, metavar="PATH",
+                         dest="json_out",
+                         help="write the repro.monitor/v1 report JSON to "
+                              "PATH ('-' for stdout); byte-identical "
+                              "across replays")
+    monitor.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="also export a chrome://tracing JSON with "
+                              "per-request timeline lanes")
+    monitor.add_argument("--min-anomalies", type=int, default=None,
+                         metavar="N",
+                         help="exit 2 unless at least N anomalies were "
+                              "flagged (CI chaos gate)")
+    monitor.add_argument("--max-anomalies", type=int, default=None,
+                         metavar="N",
+                         help="exit 2 if more than N anomalies were "
+                              "flagged (CI quiet-scenario gate)")
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -504,6 +543,52 @@ def _cmd_bench(check: bool, update_baseline: bool, baseline: Optional[str],
     return 0
 
 
+def _cmd_monitor(scenario: str, device: str, seed: int, windows: int,
+                 window_ms: Optional[float], json_out: Optional[str],
+                 trace_out: Optional[str], min_anomalies: Optional[int],
+                 max_anomalies: Optional[int], out) -> int:
+    from .errors import ReproError
+    from .obs.monitor import run_monitor
+
+    try:
+        report = run_monitor(
+            scenario, device_key=device, seed=seed, n_windows=windows,
+            window_seconds=(window_ms / 1e3 if window_ms is not None
+                            else None))
+    except ReproError as error:
+        out.write(f"error: {error}\n")
+        return 2
+
+    out.write(report.render())
+    if json_out is not None:
+        if json_out == "-":
+            out.write(report.to_json_text())
+        else:
+            with open(json_out, "w") as handle:
+                handle.write(report.to_json_text())
+            out.write(f"monitor JSON written to {json_out}\n")
+    if trace_out is not None:
+        from .obs import write_chrome_trace
+        trace = write_chrome_trace(
+            trace_out, report.tracer, timing=report.timing,
+            events=report.log,
+            process_name=f"repro monitor ({scenario} on {device})")
+        out.write(f"trace written to {trace_out} "
+                  f"({len(trace['traceEvents'])} events); open in "
+                  f"https://ui.perfetto.dev\n")
+
+    n_anomalies = len(report.anomalies)
+    if min_anomalies is not None and n_anomalies < min_anomalies:
+        out.write(f"error: expected >= {min_anomalies} anomalies, "
+                  f"detected {n_anomalies}\n")
+        return 2
+    if max_anomalies is not None and n_anomalies > max_anomalies:
+        out.write(f"error: expected <= {max_anomalies} anomalies, "
+                  f"detected {n_anomalies}\n")
+        return 2
+    return 0
+
+
 def _cmd_fuzz(trials: int, seed: int, oracle_names, replay, shrink: bool,
               list_oracles: bool, out) -> int:
     from .testing import ORACLES, fuzz, run_repro
@@ -579,6 +664,11 @@ def _dispatch(args, out) -> int:
                           args.only, args.fast, args.device, args.seed,
                           args.out_dir, args.json_out, args.markdown,
                           args.list_scenarios, out)
+    if args.command == "monitor":
+        return _cmd_monitor(args.scenario, args.device, args.seed,
+                            args.windows, args.window_ms, args.json_out,
+                            args.trace_out, args.min_anomalies,
+                            args.max_anomalies, out)
     if args.command == "fuzz":
         return _cmd_fuzz(args.trials, args.seed, args.oracle, args.replay,
                          not args.no_shrink, args.list_oracles, out)

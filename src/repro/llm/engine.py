@@ -24,7 +24,9 @@ from ..npu.memory import MultiSessionHeap, RpcMemHeap
 from ..npu.power_mgmt import GOVERNORS, PowerGovernor, apply_governor
 from ..npu.soc import Device
 from ..npu.timing import TimingModel
+from ..obs import energy as obs_energy
 from ..obs import metrics as obs_metrics
+from ..obs import timeline as obs_timeline
 from ..obs import trace as obs_trace
 from .kv_cache import KVCache
 from .model import NPUTransformer, StepCost
@@ -42,10 +44,17 @@ class GenerationResult:
     n_generated_tokens: List[int] = field(default_factory=list)
     prompt_tokens: int = 0
     sim_seconds: float = 0.0
+    joules: float = 0.0
 
     @property
     def n_decode_steps(self) -> int:
         return len(self.decode_costs)
+
+    @property
+    def tokens_per_joule(self) -> float:
+        """Sampled tokens per simulated joule (0.0 when unmetered)."""
+        return obs_energy.tokens_per_joule(self.total_generated_tokens,
+                                           self.joules)
 
     @property
     def total_generated_tokens(self) -> int:
@@ -96,6 +105,12 @@ class InferenceEngine:
             self._map_buffers(device)
         self.governor: PowerGovernor = GOVERNORS["performance"]
         self._timing = TimingModel(device.npu) if device is not None else None
+        # deferred import: perf.power pulls in the latency model stack,
+        # which imports llm.config — importing it at module scope would
+        # cycle back into this package
+        from ..perf.power import PowerBudget
+        self.energy_model = obs_energy.EnergyModel(PowerBudget(),
+                                                   self._timing)
         reg = obs_metrics.get_metrics()
         self._tokens_counter = reg.counter("repro.engine.generated_tokens")
         self._step_latency = reg.histogram("repro.engine.decode_step_seconds")
@@ -151,6 +166,7 @@ class InferenceEngine:
         if self.device is not None:
             self._timing = TimingModel(
                 apply_governor(self.device.npu, governor))
+            self.energy_model.timing = self._timing
         return previous
 
     def _cpu_seconds(self, cost: StepCost) -> float:
@@ -171,6 +187,20 @@ class InferenceEngine:
         if self._timing is None:
             return wall_seconds / self.governor.clock_scale
         return self._timing.seconds(cost.npu) + self._cpu_seconds(cost)
+
+    def step_energy(self, cost: Optional[StepCost],
+                    step_seconds: float) -> "obs_energy.EnergyBreakdown":
+        """Simulated joules of one step under the active governor.
+
+        Per-engine seconds come from the (possibly throttled) timing
+        model; the governor's ``power_scale`` discounts the dynamic NPU
+        terms so a throttled step is slower *and* cheaper per second,
+        as the DVFS ladder intends.
+        """
+        return self.energy_model.step_energy(
+            cost.npu if cost is not None else None,
+            self._cpu_seconds(cost) if cost is not None else 0.0,
+            step_seconds, power_scale=self.governor.power_scale)
 
     def prefill(self, prompt: Sequence[int], seq: int = 0) -> "tuple[np.ndarray, StepCost]":
         """Run the prompt through sequence slot ``seq``.
@@ -266,6 +296,12 @@ class InferenceEngine:
             last_logits, prefill_cost = self.prefill(prompt, seq=0)
             prefill_seconds = self._step_seconds(
                 prefill_cost, time.perf_counter() - wall_start)
+            prefill_energy = self.step_energy(prefill_cost, prefill_seconds)
+            if obs_timeline.timeline_enabled():
+                obs_timeline.emit("prefill", prefill_seconds,
+                                  seconds=prefill_seconds,
+                                  n_tokens=len(prompt),
+                                  joules=prefill_energy.joules)
             if n > 1:
                 with obs_trace.span("engine.fork", category="engine",
                                     n_targets=n - 1):
@@ -282,13 +318,23 @@ class InferenceEngine:
                                       prompt_tokens=len(prompt))
 
             decode_seconds = 0.0
-            for _ in range(max_new_tokens - 1):
+            joules = prefill_energy.joules
+            for step_index in range(max_new_tokens - 1):
                 if all(finished):
                     break
                 wall_start = time.perf_counter()
                 logits, cost = self.decode_step(current, sequences)
-                decode_seconds += self._step_seconds(
+                step_seconds = self._step_seconds(
                     cost, time.perf_counter() - wall_start)
+                decode_seconds += step_seconds
+                step_energy = self.step_energy(cost, step_seconds)
+                joules += step_energy.joules
+                if obs_timeline.timeline_enabled():
+                    obs_timeline.emit(
+                        "decode_step", prefill_seconds + decode_seconds,
+                        step=step_index, seconds=step_seconds,
+                        live_batch=sum(1 for f in finished if not f),
+                        joules=step_energy.joules)
                 result.decode_costs.append(cost)
                 next_tokens = sampler.sample_batch(logits)
                 for i in range(n):
@@ -303,6 +349,13 @@ class InferenceEngine:
 
             self._tokens_counter.inc(result.total_generated_tokens)
             result.sim_seconds = prefill_seconds + decode_seconds
+            result.joules = joules
+            if obs_timeline.timeline_enabled():
+                for i in range(n):
+                    obs_timeline.emit("complete", result.sim_seconds,
+                                      request_id=i, reason="eos"
+                                      if finished[i] else "length",
+                                      tokens=result.n_generated_tokens[i])
             if decode_seconds > 0.0:
                 decoded = result.total_generated_tokens - n
                 self._tokens_per_second.set(max(decoded, 0) / decode_seconds)

@@ -39,8 +39,11 @@ from ..errors import (
     SessionAbortError,
     TransientFaultError,
 )
+from ..npu.power_mgmt import THROTTLE_LADDER
 from ..npu.timing import SimClock
+from ..obs import energy as obs_energy
 from ..obs import metrics as obs_metrics
+from ..obs import timeline as obs_timeline
 from ..obs import trace as obs_trace
 from ..obs.slo import SLOTracker
 from ..resilience.faults import FaultInjector, FaultPlan, FaultRecord
@@ -53,6 +56,14 @@ __all__ = ["CandidateOutput", "ScheduledGeneration", "WavePlan",
            "plan_waves", "ContinuousBatchingScheduler"]
 
 
+def _governor_level(name: str) -> int:
+    """Rung of ``name`` on the throttle ladder (-1 if off-ladder)."""
+    try:
+        return THROTTLE_LADDER.index(name)
+    except ValueError:
+        return -1
+
+
 @dataclass
 class CandidateOutput:
     """Lifecycle record of one scheduled candidate."""
@@ -63,6 +74,7 @@ class CandidateOutput:
     admitted_step: int
     finished_step: int
     finish_reason: str  # "eos" or "length"
+    joules: float = 0.0  # decode/rebuild energy attributed to this candidate
 
 
 @dataclass
@@ -87,6 +99,9 @@ class ScheduledGeneration(GenerationResult):
     deadline_hit: bool = False
     degraded: bool = False
     governor_steps: List[Tuple[int, str]] = field(default_factory=list)
+    prefill_joules: float = 0.0
+    idle_joules: float = 0.0
+    wave_joules: Dict[int, float] = field(default_factory=dict)
 
     @property
     def mean_live_batch(self) -> float:
@@ -266,10 +281,23 @@ class ContinuousBatchingScheduler:
              injector: Optional[FaultInjector], policy: RetryPolicy,
              deadline_seconds: Optional[float], base_governor,
              result: ScheduledGeneration, slo: SLOTracker) -> None:
+        tlog = obs_timeline.get_event_log()
+        accountant = obs_energy.EnergyAccountant()
+        batch = engine.batch
+        if tlog.enabled:
+            for cid in range(n_candidates):
+                tlog.emit("queue", 0.0, request_id=cid, wave=cid // batch)
         wall = time.perf_counter()
         last_logits, prefill_cost = engine.prefill(prompt, seq=0)
-        clock.advance(engine._step_seconds(prefill_cost,
-                                           time.perf_counter() - wall))
+        prefill_seconds = engine._step_seconds(prefill_cost,
+                                               time.perf_counter() - wall)
+        clock.advance(prefill_seconds)
+        prefill_energy = engine.step_energy(prefill_cost, prefill_seconds)
+        accountant.charge_prefill(prefill_energy)
+        if tlog.enabled:
+            tlog.emit("prefill", clock.total_seconds,
+                      seconds=prefill_seconds, n_tokens=len(prompt),
+                      joules=prefill_energy.joules)
         result.prefill_cost = prefill_cost
         anchor = cache.snapshot_sequence(0)
         # slot 0 still holds the prompt tokens; the first admission
@@ -280,6 +308,7 @@ class ContinuousBatchingScheduler:
             # owns the pool: prefill is the run's precondition, not a
             # recoverable step
             cache.pool.fault_injector = injector
+            injector.clock = clock
 
         free_slots = list(range(engine.batch))
         live: Dict[int, _LiveCandidate] = {}
@@ -305,6 +334,14 @@ class ContinuousBatchingScheduler:
                 next_id += 1
                 result.n_admissions += 1
                 self._admissions.inc()
+                if tlog.enabled:
+                    wave = candidate.candidate_id // batch
+                    tlog.emit("admit", clock.total_seconds,
+                              request_id=candidate.candidate_id,
+                              step=step, slot=slot)
+                    tlog.emit("wave_assign", clock.total_seconds,
+                              request_id=candidate.candidate_id,
+                              step=step, wave=wave)
                 if ((eos_id is not None and token == eos_id)
                         or candidate.budget == 1):
                     retire(candidate, "eos" if eos_id is not None
@@ -316,15 +353,21 @@ class ContinuousBatchingScheduler:
             cache.free_sequence(candidate.slot)
             live.pop(candidate.slot, None)
             free_slots.append(candidate.slot)
+            joules = accountant.request_joules(candidate.candidate_id)
             finished.append(CandidateOutput(
                 candidate_id=candidate.candidate_id,
                 slot=candidate.slot, tokens=candidate.tokens,
                 admitted_step=candidate.admitted_step,
-                finished_step=step, finish_reason=reason))
+                finished_step=step, finish_reason=reason,
+                joules=joules))
             self._retired.inc()
-            slo.observe_candidate(
-                candidate.candidate_id,
-                clock.total_seconds - candidate.admitted_sim)
+            latency = clock.total_seconds - candidate.admitted_sim
+            slo.observe_candidate(candidate.candidate_id, latency)
+            if tlog.enabled:
+                tlog.emit("complete", clock.total_seconds,
+                          request_id=candidate.candidate_id, step=step,
+                          reason=reason, tokens=len(candidate.tokens),
+                          latency_seconds=latency, joules=joules)
 
         def rebuild_live() -> None:
             # The paged cache may be in an inconsistent mid-forward
@@ -334,6 +377,7 @@ class ContinuousBatchingScheduler:
             for slot in sorted(live):
                 candidate = live[slot]
                 prefix = candidate.tokens[:-1]
+                rebuild_joules = 0.0
                 with obs_trace.span("resilience.rebuild",
                                     category="resilience", slot=slot,
                                     candidate=candidate.candidate_id,
@@ -344,11 +388,23 @@ class ContinuousBatchingScheduler:
                         w = time.perf_counter()
                         cost = engine.rebuild_sequence(slot, prefix)
                         if cost is not None:
-                            clock.advance(engine._step_seconds(
-                                cost, time.perf_counter() - w))
+                            seconds = engine._step_seconds(
+                                cost, time.perf_counter() - w)
+                            clock.advance(seconds)
+                            breakdown = engine.step_energy(cost, seconds)
+                            accountant.charge_prefill(
+                                breakdown,
+                                request_id=candidate.candidate_id,
+                                wave=candidate.candidate_id // batch)
+                            rebuild_joules = breakdown.joules
                 result.n_rebuilds += 1
                 result.rebuilt_tokens += len(prefix)
                 self._rebuilds.inc()
+                if tlog.enabled:
+                    tlog.emit("rebuild", clock.total_seconds,
+                              request_id=candidate.candidate_id,
+                              step=step, tokens=len(prefix),
+                              joules=rebuild_joules)
 
         def evict_one() -> bool:
             if not live:
@@ -357,6 +413,10 @@ class ContinuousBatchingScheduler:
             # ties toward the most recently admitted (highest id)
             victim = min(live.values(),
                          key=lambda c: (len(c.tokens), -c.candidate_id))
+            if tlog.enabled:
+                tlog.emit("evict", clock.total_seconds,
+                          request_id=victim.candidate_id, step=step,
+                          tokens=len(victim.tokens))
             with obs_trace.span("resilience.evict", category="resilience",
                                 candidate=victim.candidate_id,
                                 slot=victim.slot, tokens=len(victim.tokens),
@@ -376,10 +436,19 @@ class ContinuousBatchingScheduler:
         def note_retry(kind: str, seconds: float) -> None:
             result.n_retries += 1
             self._step_retries.inc()
+            obs_metrics.get_metrics().counter(
+                "repro.resilience.step_retries", labels={"kind": kind}).inc()
             with obs_trace.span("resilience.retry", category="resilience",
                                 kind=kind, step=step,
                                 backoff_ms=seconds * 1e3):
                 clock.advance(seconds)
+            # backoff burns baseline power while the NPU sits idle
+            idle = engine.energy_model.idle_energy(seconds)
+            accountant.charge_idle(idle)
+            if tlog.enabled:
+                tlog.emit("retry", clock.total_seconds, step=step,
+                          retry_kind=kind, backoff_seconds=seconds,
+                          joules=idle.joules)
 
         admit()
         while live:
@@ -390,6 +459,12 @@ class ContinuousBatchingScheduler:
                     engine.set_governor(base_governor)
                     throttle_restore_step = None
                     result.governor_steps.append((step, base_governor.name))
+                    if tlog.enabled:
+                        tlog.emit("throttle", clock.total_seconds,
+                                  step=step, governor=base_governor.name,
+                                  governor_level=_governor_level(
+                                      base_governor.name),
+                                  restored=True)
                 for event in injector.step_events(step):
                     if event.kind == "thermal_throttle":
                         engine.set_governor(event.governor)
@@ -403,6 +478,12 @@ class ContinuousBatchingScheduler:
                                             step=step,
                                             duration=event.duration_steps):
                             pass
+                        if tlog.enabled:
+                            tlog.emit("throttle", clock.total_seconds,
+                                      step=step, governor=event.governor,
+                                      governor_level=_governor_level(
+                                          event.governor),
+                                      restored=False)
                     elif event.kind == "session_abort":
                         arm_abort += 1
                     elif event.kind == "dma_timeout":
@@ -472,9 +553,18 @@ class ContinuousBatchingScheduler:
                 continue
             result.decode_costs.append(cost)
             result.live_batch_per_step.append(len(slots))
-            slo.observe_step(step_seconds,
-                             [live[s].candidate_id for s in slots
-                              if s in live])
+            live_ids = [live[s].candidate_id for s in slots if s in live]
+            step_energy = engine.step_energy(cost, step_seconds)
+            accountant.charge_step(step_energy, request_ids=live_ids,
+                                   waves=[cid // batch for cid in live_ids])
+            if tlog.enabled:
+                tlog.emit("decode_step", clock.total_seconds, step=step,
+                          seconds=step_seconds, live_batch=len(slots),
+                          kv_blocks=cache.pool.blocks_in_use,
+                          governor_level=_governor_level(
+                              engine.governor.name),
+                          joules=step_energy.joules)
+            slo.observe_step(step_seconds, live_ids)
             step += 1
             next_tokens = sampler.sample_batch(logits)
             for i, slot in enumerate(slots):
@@ -491,6 +581,9 @@ class ContinuousBatchingScheduler:
                     and clock.total_seconds >= deadline_seconds):
                 result.deadline_hit = True
                 admitting = False
+                if tlog.enabled:
+                    tlog.emit("deadline", clock.total_seconds, step=step,
+                              deadline=deadline_seconds, live=len(live))
                 with obs_trace.span("resilience.deadline",
                                     category="resilience", step=step,
                                     sim_seconds=clock.total_seconds,
@@ -503,6 +596,11 @@ class ContinuousBatchingScheduler:
         result.peak_kv_bytes = cache.pool.peak_bytes
         result.cow_copies = cache.pool.cow_copies
         result.sim_seconds = clock.total_seconds
+        result.joules = accountant.total_j
+        result.prefill_joules = accountant.prefill_j
+        result.idle_joules = accountant.idle_j
+        result.wave_joules = {wave: accountant.per_wave[wave]
+                              for wave in sorted(accountant.per_wave)}
 
         finished.sort(key=lambda c: c.candidate_id)
         result.candidates = finished

@@ -5,8 +5,19 @@
 * :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
   under the ``repro.<layer>.<name>`` naming convention.
 * :mod:`repro.obs.export` — ``chrome://tracing`` JSON (opens in
-  Perfetto) with HMX/HVX/DMA/CPU engine lanes, plus a flamegraph-style
-  text report.
+  Perfetto) with HMX/HVX/DMA/CPU engine lanes plus per-request timeline
+  lanes, and a flamegraph-style text report.
+* :mod:`repro.obs.timeline` — the structured event log: typed causal
+  events (admit/wave_assign/decode_step/fault/retry/evict/...) keyed by
+  request id.
+* :mod:`repro.obs.stream` — windowed metric streams folding events into
+  fixed sim-time windows of counters/gauges/histograms.
+* :mod:`repro.obs.anomaly` — deterministic online detectors (EWMA,
+  median/MAD z-score, rate-of-change) over stream series.
+* :mod:`repro.obs.energy` — simulated-joule attribution per step,
+  request, and wave, from the :mod:`repro.perf.power` budget.
+* :mod:`repro.obs.monitor` — the ``repro monitor`` replay + report
+  (imported lazily by the CLI; not re-exported here).
 
 Tracing is disabled by default; enable it for a run with::
 
@@ -52,7 +63,37 @@ from .metrics import (
     histogram,
     set_metrics,
 )
+from .anomaly import (
+    AnomalyEvent,
+    EwmaDetector,
+    MadDetector,
+    RateOfChangeDetector,
+    default_detectors,
+    detect_series,
+)
+from .energy import (
+    EnergyAccountant,
+    EnergyBreakdown,
+    EnergyModel,
+    ZERO_ENERGY,
+    tokens_per_joule,
+)
 from .slo import SLOTracker, hdr_buckets, slo_summary
+from .stream import (
+    DEFAULT_WINDOW_SECONDS,
+    MetricStream,
+    MetricWindow,
+    stream_from_log,
+)
+from .timeline import (
+    EVENT_KINDS,
+    EventLog,
+    TimelineEvent,
+    emit,
+    get_event_log,
+    set_event_log,
+    timeline_enabled,
+)
 from .trace import NULL_SPAN, Span, Tracer, enabled, get_tracer, set_tracer, span
 
 __all__ = [
@@ -76,6 +117,28 @@ __all__ = [
     "SLOTracker",
     "hdr_buckets",
     "slo_summary",
+    "AnomalyEvent",
+    "EwmaDetector",
+    "MadDetector",
+    "RateOfChangeDetector",
+    "default_detectors",
+    "detect_series",
+    "EnergyAccountant",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "ZERO_ENERGY",
+    "tokens_per_joule",
+    "DEFAULT_WINDOW_SECONDS",
+    "MetricStream",
+    "MetricWindow",
+    "stream_from_log",
+    "EVENT_KINDS",
+    "EventLog",
+    "TimelineEvent",
+    "emit",
+    "get_event_log",
+    "set_event_log",
+    "timeline_enabled",
     "Counter",
     "Gauge",
     "Histogram",

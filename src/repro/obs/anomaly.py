@@ -1,0 +1,289 @@
+"""Online anomaly detection over windowed metric series.
+
+Three detector families, all pure arithmetic over a
+:class:`~repro.obs.stream.MetricStream` series (no RNG, no host clock),
+so a given run flags the *same* anomalies every replay — alerts are as
+reproducible as the fault plan that caused them:
+
+* :class:`EwmaDetector` — exponentially weighted moving average with a
+  companion EWM variance (West's recurrence).  Cheap, smooth, catches
+  sustained level shifts; the classic first-line production detector.
+* :class:`MadDetector` — robust z-score against the rolling median,
+  scaled by the median absolute deviation (the 1.4826 consistency
+  constant makes MAD estimate sigma for normal data).  Resists the
+  exact outliers it is trying to flag, so one fault spike does not
+  inflate the baseline the way it inflates an EWMA's variance.
+* :class:`RateOfChangeDetector` — relative step change between
+  consecutive windows.  Throttle cliffs (governor drops from
+  performance to efficiency) show up as a single ~1.8x jump in step
+  latency that level-based detectors need several windows to trust;
+  this one fires on the edge itself.
+
+Detectors score **windows**, not raw events: feed them
+``stream.series(metric, stat)`` points.  Each firing yields a typed
+:class:`AnomalyEvent` carrying the window of evidence (the trailing
+values the decision was based on), so a report can show *why* a window
+was flagged, not just that it was.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "AnomalyEvent",
+    "EwmaDetector",
+    "MadDetector",
+    "RateOfChangeDetector",
+    "detect_series",
+    "default_detectors",
+]
+
+#: Consistency constant: MAD * 1.4826 estimates sigma for normal data.
+_MAD_SIGMA = 1.4826
+
+#: Absolute floor on every score denominator, so a perfectly flat
+#: baseline (variance exactly zero) yields huge-but-finite scores and
+#: the JSON report never contains inf.
+_DENOM_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """One detector firing on one window of one metric series.
+
+    ``evidence`` is the trailing window of values the decision used
+    (EWMA state or the MAD rolling window, plus the flagged value), in
+    series order — enough to re-derive ``score`` by hand.
+    """
+
+    metric: str
+    detector: str
+    window_index: int
+    sim_time: float
+    value: float
+    score: float
+    threshold: float
+    evidence: Tuple[float, ...] = field(default_factory=tuple)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "detector": self.detector,
+            "window_index": self.window_index,
+            "sim_time": self.sim_time,
+            "value": self.value,
+            "score": self.score,
+            "threshold": self.threshold,
+            "evidence": list(self.evidence),
+        }
+
+
+def _check_positive(name: str, value: float) -> None:
+    if not value > 0.0:
+        raise ObservabilityError(f"{name} must be positive, got {value}")
+
+
+class EwmaDetector:
+    """EWMA level + EWM variance z-score detector.
+
+    Maintains mean and variance with West's recurrence; a point whose
+    deviation from the pre-update mean exceeds ``threshold`` estimated
+    sigmas fires.  ``min_rel`` floors sigma at a fraction of the larger
+    of the mean's and the point's magnitude, so a near-constant series
+    (sigma ~ 0) only flags deviations that are also *relatively* large
+    — without it, float noise on a flat baseline would alert, and a
+    spike off an exactly-zero baseline would score ~1e12 instead of
+    ``1 / min_rel``.  The first ``warmup`` points only train the state.
+    """
+
+    name = "ewma"
+
+    def __init__(self, alpha: float = 0.3, threshold: float = 4.0,
+                 warmup: int = 3, min_rel: float = 0.1) -> None:
+        _check_positive("alpha", alpha)
+        if alpha > 1.0:
+            raise ObservabilityError(f"alpha must be <= 1, got {alpha}")
+        _check_positive("threshold", threshold)
+        if warmup < 1:
+            raise ObservabilityError(f"warmup must be >= 1, got {warmup}")
+        if min_rel < 0.0:
+            raise ObservabilityError(
+                f"min_rel must be >= 0, got {min_rel}")
+        self.alpha = alpha
+        self.threshold = threshold
+        self.warmup = warmup
+        self.min_rel = min_rel
+        self._mean = 0.0
+        self._var = 0.0
+        self._n = 0
+
+    def reset(self) -> None:
+        self._mean = 0.0
+        self._var = 0.0
+        self._n = 0
+
+    def observe(self, value: float) -> Optional[Tuple[float, Tuple[float, ...]]]:
+        """Score ``value``; returns (score, evidence) when it fires."""
+        value = float(value)
+        if math.isnan(value):
+            raise ObservabilityError(
+                f"{self.name} detector fed NaN at point {self._n}")
+        fired: Optional[Tuple[float, Tuple[float, ...]]] = None
+        if self._n >= self.warmup:
+            sigma = math.sqrt(max(self._var, 0.0))
+            denom = max(sigma,
+                        self.min_rel * max(abs(self._mean), abs(value)),
+                        _DENOM_FLOOR)
+            score = abs(value - self._mean) / denom
+            if score > self.threshold:
+                fired = (score, (self._mean, sigma, value))
+        # West's EWM mean/variance update
+        if self._n == 0:
+            self._mean = value
+        else:
+            delta = value - self._mean
+            incr = self.alpha * delta
+            self._mean += incr
+            self._var = (1.0 - self.alpha) * (self._var + delta * incr)
+        self._n += 1
+        return fired
+
+
+class MadDetector:
+    """Robust z-score against a rolling median, scaled by MAD.
+
+    Keeps the last ``window`` values; a new point whose deviation from
+    their median exceeds ``threshold`` robust sigmas
+    (``MAD * 1.4826``) fires.  Because median and MAD ignore the tails,
+    the baseline is not dragged by the very spikes being detected —
+    the reason this detector exists alongside the EWMA.
+    """
+
+    name = "mad"
+
+    def __init__(self, window: int = 8, threshold: float = 3.5,
+                 warmup: int = 4, min_rel: float = 0.1) -> None:
+        if window < 3:
+            raise ObservabilityError(f"window must be >= 3, got {window}")
+        _check_positive("threshold", threshold)
+        if warmup < 2:
+            raise ObservabilityError(f"warmup must be >= 2, got {warmup}")
+        if min_rel < 0.0:
+            raise ObservabilityError(
+                f"min_rel must be >= 0, got {min_rel}")
+        self.window = window
+        self.threshold = threshold
+        self.warmup = warmup
+        self.min_rel = min_rel
+        self._values: List[float] = []
+
+    def reset(self) -> None:
+        self._values = []
+
+    @staticmethod
+    def _median(values: Sequence[float]) -> float:
+        ordered = sorted(values)
+        n = len(ordered)
+        mid = n // 2
+        if n % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    def observe(self, value: float) -> Optional[Tuple[float, Tuple[float, ...]]]:
+        value = float(value)
+        if math.isnan(value):
+            raise ObservabilityError(
+                f"{self.name} detector fed NaN at point {len(self._values)}")
+        fired: Optional[Tuple[float, Tuple[float, ...]]] = None
+        if len(self._values) >= self.warmup:
+            center = self._median(self._values)
+            mad = self._median([abs(v - center) for v in self._values])
+            denom = max(mad * _MAD_SIGMA,
+                        self.min_rel * max(abs(center), abs(value)),
+                        _DENOM_FLOOR)
+            score = abs(value - center) / denom
+            if score > self.threshold:
+                fired = (score, tuple(self._values) + (value,))
+        self._values.append(value)
+        if len(self._values) > self.window:
+            self._values.pop(0)
+        return fired
+
+
+class RateOfChangeDetector:
+    """Fires on a large *relative* step between consecutive windows.
+
+    Score is ``|v - prev| / max(|prev|, floor)``; a throttle from the
+    performance to the efficiency governor stretches step latency by
+    ``1/0.55 - 1 ~ 0.8``, comfortably above the default 0.5 threshold,
+    while steady-state window noise sits far below it.  ``floor``
+    guards the first-nonzero transition of count-like series (0 -> 1
+    faults would otherwise score ~1e9).
+    """
+
+    name = "rate_of_change"
+
+    def __init__(self, threshold: float = 0.5, floor: float = 1e-9) -> None:
+        _check_positive("threshold", threshold)
+        _check_positive("floor", floor)
+        self.threshold = threshold
+        self.floor = floor
+        self._prev: Optional[float] = None
+
+    def reset(self) -> None:
+        self._prev = None
+
+    def observe(self, value: float) -> Optional[Tuple[float, Tuple[float, ...]]]:
+        value = float(value)
+        if math.isnan(value):
+            raise ObservabilityError(f"{self.name} detector fed NaN")
+        fired: Optional[Tuple[float, Tuple[float, ...]]] = None
+        prev = self._prev
+        if prev is not None:
+            denom = max(abs(prev), self.floor)
+            score = abs(value - prev) / denom
+            if score > self.threshold and abs(prev) > self.floor:
+                fired = (score, (prev, value))
+        self._prev = value
+        return fired
+
+
+def default_detectors() -> List[Any]:
+    """Fresh instances of the standard detector set."""
+    return [EwmaDetector(), MadDetector(), RateOfChangeDetector()]
+
+
+def detect_series(metric: str,
+                  points: Sequence[Tuple[int, float, float]],
+                  detectors: Optional[Sequence[Any]] = None
+                  ) -> List[AnomalyEvent]:
+    """Run detectors over one series; returns firings in series order.
+
+    ``points`` are ``(window_index, sim_time, value)`` triples (a
+    :meth:`MetricStream.series` result zipped with window start times).
+    Each detector is reset first, then fed every point in order, so the
+    result is a pure function of (points, detector parameters).
+    """
+    if detectors is None:
+        detectors = default_detectors()
+    out: List[AnomalyEvent] = []
+    for detector in detectors:
+        detector.reset()
+        for window_index, sim_time, value in points:
+            fired = detector.observe(value)
+            if fired is not None:
+                score, evidence = fired
+                out.append(AnomalyEvent(
+                    metric=metric, detector=detector.name,
+                    window_index=int(window_index),
+                    sim_time=float(sim_time), value=float(value),
+                    score=float(score),
+                    threshold=float(detector.threshold),
+                    evidence=tuple(float(v) for v in evidence)))
+    out.sort(key=lambda a: (a.window_index, a.metric, a.detector))
+    return out

@@ -189,6 +189,7 @@ def _bench_decode(ctx: BenchContext) -> BenchRecord:
     return BenchRecord("decode.greedy", metrics={
         "sim_seconds": result.sim_seconds,
         "tokens_per_second": tokens / result.sim_seconds,
+        "tokens_per_joule": result.tokens_per_joule,
         "decode_steps": float(result.n_decode_steps),
     }, info={"batch": 4, "prompt_tokens": len(_BENCH_PROMPT),
              "new_tokens": 8, "generated_tokens": tokens})
@@ -228,6 +229,8 @@ def _bench_waves(ctx: BenchContext, name: str, n_candidates: int,
     metrics = {
         "sim_seconds": result.sim_seconds,
         "tokens_per_second": tokens / result.sim_seconds,
+        "tokens_per_joule": (tokens / result.joules
+                             if result.joules > 0.0 else 0.0),
         "mean_live_batch": result.mean_live_batch,
         "peak_kv_bytes": float(result.peak_kv_bytes),
         "rpcmem_peak_bytes": _heap_peak_bytes(engine),
@@ -524,7 +527,7 @@ class Threshold:
 #: matched is informational: recorded, diffed, never gated.
 _HIGHER_IS_BETTER = ("tokens_per_second", "acceptance_rate",
                      "tokens_per_target_pass", "mean_live_batch",
-                     "effective_gflops")
+                     "effective_gflops", "tokens_per_joule")
 _LOWER_SUFFIXES = ("_bytes",)
 _LOWER_EXACT = ("sim_seconds", "dma_seconds", "hvx_seconds")
 _LOWER_PREFIXES = ("token_latency_",)

@@ -1,0 +1,212 @@
+"""Simulated energy attribution for the serving path.
+
+:mod:`repro.perf.power` answers the *modeling* question — what does a
+decode configuration draw in steady state (Fig. 12)?  This module
+answers the *accounting* question — which request, wave and engine did
+each simulated joule go to?  Every scheduler/engine step computes an
+:class:`EnergyBreakdown` from the step's per-engine utilizations and a
+:class:`~repro.perf.power.PowerBudget`, and an :class:`EnergyAccountant`
+rolls the joules up per request and per wave, so timelines, reports and
+bench metrics can surface tokens-per-joule — the battery-life currency
+the paper's mobile setting trades in.
+
+Layering: like :mod:`repro.obs.export`, this module imports nothing
+from :mod:`repro.npu` or :mod:`repro.perf` — ``budget`` and ``timing``
+are duck-typed (anything with ``base_w``/``dram_w``/... watts and
+``hmx_seconds``/``hvx_seconds``/``dma_seconds`` methods works), so obs
+stays a leaf package with no import cycles.
+
+Energy model per step (matching :class:`~repro.perf.power.PowerModel`):
+
+    E = P_base * t_step
+      + scale * (P_dram * t_dma + P_hmx * t_hmx + P_hvx * t_hvx)
+      + P_cpu * t_cpu
+
+where ``scale`` is the active governor's ``power_scale`` — dynamic NPU
+power drops superlinearly with the DVFS clock while the CPU (not
+governed by the NPU ladder) and the baseline do not.  Engine-seconds
+are capped at the step duration, mirroring the utilization clamp in
+``PowerModel._utilizations``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..errors import ObservabilityError
+
+__all__ = ["EnergyBreakdown", "ZERO_ENERGY", "EnergyModel",
+           "EnergyAccountant", "tokens_per_joule"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules of one step, split by component rail."""
+
+    joules: float
+    base_j: float = 0.0
+    dram_j: float = 0.0
+    hmx_j: float = 0.0
+    hvx_j: float = 0.0
+    cpu_j: float = 0.0
+
+    def to_json(self) -> Dict[str, float]:
+        return {
+            "joules": self.joules,
+            "base_j": self.base_j,
+            "dram_j": self.dram_j,
+            "hmx_j": self.hmx_j,
+            "hvx_j": self.hvx_j,
+            "cpu_j": self.cpu_j,
+        }
+
+
+ZERO_ENERGY = EnergyBreakdown(joules=0.0)
+
+
+def tokens_per_joule(tokens: float, joules: float) -> float:
+    """Tokens-per-joule, 0.0 when no energy was accrued."""
+    return tokens / joules if joules > 0.0 else 0.0
+
+
+def _check_finite(name: str, value: float) -> float:
+    value = float(value)
+    if math.isnan(value) or math.isinf(value) or value < 0.0:
+        raise ObservabilityError(
+            f"energy model needs finite non-negative {name}, got {value}")
+    return value
+
+
+class EnergyModel:
+    """Per-step joule attribution from a power budget + timing model.
+
+    ``budget`` supplies component watts (``base_w``/``dram_w``/``hmx_w``
+    /``hvx_w``/``cpu_w``); ``timing`` (optional) converts a step's NPU
+    kernel cost into per-engine seconds.  Without a timing model only
+    the baseline and CPU terms accrue — honest for device-less runs,
+    where there is no NPU latency model to attribute against.
+    """
+
+    def __init__(self, budget: Any, timing: Optional[Any] = None) -> None:
+        for attr in ("base_w", "dram_w", "hmx_w", "hvx_w", "cpu_w"):
+            watts = getattr(budget, attr, None)
+            if watts is None:
+                raise ObservabilityError(
+                    f"power budget {budget!r} lacks {attr}")
+            _check_finite(attr, watts)
+        self.budget = budget
+        self.timing = timing
+
+    def step_energy(self, npu_cost: Any, cpu_seconds: float,
+                    step_seconds: float,
+                    power_scale: float = 1.0) -> EnergyBreakdown:
+        """Joules of one step of duration ``step_seconds``.
+
+        ``power_scale`` is the active governor's dynamic-power factor;
+        it scales the NPU engine terms (DRAM/HMX/HVX) but not the
+        baseline or the CPU.  A zero-duration step (empty live set,
+        coalesced retirement) costs exactly :data:`ZERO_ENERGY` — no
+        division ever happens, so there is no 0/0 hazard.
+        """
+        step_seconds = _check_finite("step_seconds", step_seconds)
+        cpu_seconds = _check_finite("cpu_seconds", cpu_seconds)
+        power_scale = _check_finite("power_scale", power_scale)
+        if step_seconds == 0.0:
+            return ZERO_ENERGY
+        b = self.budget
+        if self.timing is not None and npu_cost is not None:
+            dma = min(self.timing.dma_seconds(npu_cost), step_seconds)
+            hmx = min(self.timing.hmx_seconds(npu_cost), step_seconds)
+            hvx = min(self.timing.hvx_seconds(npu_cost), step_seconds)
+        else:
+            dma = hmx = hvx = 0.0
+        cpu = min(cpu_seconds, step_seconds)
+        base_j = b.base_w * step_seconds
+        dram_j = power_scale * b.dram_w * dma
+        hmx_j = power_scale * b.hmx_w * hmx
+        hvx_j = power_scale * b.hvx_w * hvx
+        cpu_j = b.cpu_w * cpu
+        return EnergyBreakdown(
+            joules=base_j + dram_j + hmx_j + hvx_j + cpu_j,
+            base_j=base_j, dram_j=dram_j, hmx_j=hmx_j, hvx_j=hvx_j,
+            cpu_j=cpu_j)
+
+    def idle_energy(self, seconds: float) -> EnergyBreakdown:
+        """Baseline-only joules (retry backoff, session reopen waits)."""
+        seconds = _check_finite("seconds", seconds)
+        if seconds == 0.0:
+            return ZERO_ENERGY
+        base_j = self.budget.base_w * seconds
+        return EnergyBreakdown(joules=base_j, base_j=base_j)
+
+
+class EnergyAccountant:
+    """Rolls step energy up per request and per wave.
+
+    A lock-step decode is one forward pass shared by the live batch, so
+    its joules split **equally** across the live candidates — the same
+    attribution rule the paper uses for per-token energy (power times
+    step latency over batch).  Prefill/rebuild joules go to the owning
+    request; idle joules (backoff) stay run-level.
+    """
+
+    def __init__(self) -> None:
+        self.total_j = 0.0
+        self.prefill_j = 0.0
+        self.decode_j = 0.0
+        self.idle_j = 0.0
+        self.per_request: Dict[int, float] = {}
+        self.per_wave: Dict[int, float] = {}
+
+    def charge_prefill(self, breakdown: EnergyBreakdown,
+                       request_id: Optional[int] = None,
+                       wave: Optional[int] = None) -> None:
+        self.total_j += breakdown.joules
+        self.prefill_j += breakdown.joules
+        if request_id is not None:
+            self.per_request[request_id] = (
+                self.per_request.get(request_id, 0.0) + breakdown.joules)
+        if wave is not None:
+            self.per_wave[wave] = (self.per_wave.get(wave, 0.0)
+                                   + breakdown.joules)
+
+    def charge_step(self, breakdown: EnergyBreakdown,
+                    request_ids: Optional[Any] = None,
+                    waves: Optional[Any] = None) -> float:
+        """Charge one decode step, split equally across ``request_ids``.
+
+        Returns the per-request share (0.0 for an empty live set).
+        """
+        self.total_j += breakdown.joules
+        self.decode_j += breakdown.joules
+        ids = list(request_ids) if request_ids else []
+        share = breakdown.joules / len(ids) if ids else 0.0
+        for rid in ids:
+            self.per_request[rid] = self.per_request.get(rid, 0.0) + share
+        for wave in set(waves) if waves else ():
+            self.per_wave[wave] = self.per_wave.get(wave, 0.0)
+        if waves:
+            for rid, wave in zip(ids, waves):
+                self.per_wave[wave] = self.per_wave.get(wave, 0.0) + share
+        return share
+
+    def charge_idle(self, breakdown: EnergyBreakdown) -> None:
+        self.total_j += breakdown.joules
+        self.idle_j += breakdown.joules
+
+    def request_joules(self, request_id: int) -> float:
+        return self.per_request.get(request_id, 0.0)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "total_j": self.total_j,
+            "prefill_j": self.prefill_j,
+            "decode_j": self.decode_j,
+            "idle_j": self.idle_j,
+            "per_request": {str(k): self.per_request[k]
+                            for k in sorted(self.per_request)},
+            "per_wave": {str(k): self.per_wave[k]
+                         for k in sorted(self.per_wave)},
+        }

@@ -43,6 +43,10 @@ _PID = 1
 _HOST_TID_BASE = 1
 ENGINE_LANES = ("HMX", "HVX", "DMA", "CPU")
 _ENGINE_TIDS = {"HMX": 100, "HVX": 101, "DMA": 102, "CPU": 103}
+#: Run-level timeline events (no request id) land on this lane; request
+#: lanes are ``_REQUEST_TID_BASE + request_id``.
+_RUN_EVENTS_TID = 199
+_REQUEST_TID_BASE = 200
 
 
 def _spans_of(source: Union[Tracer, Sequence[Span]]) -> List[Span]:
@@ -87,17 +91,92 @@ def _json_safe(value: Any) -> Any:
     return str(value)
 
 
+def _events_of(events: Any) -> List[Any]:
+    """Normalize an EventLog-or-sequence argument (duck-typed)."""
+    if events is None:
+        return []
+    if hasattr(events, "events"):
+        return list(events.events())
+    return list(events)
+
+
+def _request_lane_events(timeline_events: List[Any]) -> List[Dict[str, Any]]:
+    """Per-request Perfetto lanes from structured timeline events.
+
+    Each request gets its own Chrome thread: one ``X`` bar spanning
+    admit -> complete on the *simulated* timeline, with the causal
+    events in between (decode steps are elided — they are the engine
+    lanes' job) rendered as instant markers.  Run-level events (faults,
+    throttles, deadlines with no request id) land on a shared
+    ``events`` lane, so the Perfetto view correlates "request 3
+    stalled" with "DMA fault fired" by eye.
+    """
+    out: List[Dict[str, Any]] = []
+    by_request: Dict[int, List[Any]] = {}
+    run_level: List[Any] = []
+    for event in timeline_events:
+        if event.request_id is None:
+            run_level.append(event)
+        else:
+            by_request.setdefault(event.request_id, []).append(event)
+    if not by_request and not run_level:
+        return out
+    if run_level:
+        out.append({"name": "thread_name", "ph": "M", "pid": _PID,
+                    "tid": _RUN_EVENTS_TID, "args": {"name": "events"}})
+    for request_id in sorted(by_request):
+        tid = _REQUEST_TID_BASE + request_id
+        out.append({"name": "thread_name", "ph": "M", "pid": _PID,
+                    "tid": tid, "args": {"name": f"request {request_id}"}})
+        chain = by_request[request_id]
+        starts = [e.sim_time for e in chain if e.kind in ("admit", "queue")]
+        ends = [e.sim_time for e in chain if e.kind == "complete"]
+        start = min(starts) if starts else min(e.sim_time for e in chain)
+        end = max(ends) if ends else max(e.sim_time for e in chain)
+        completes = [e for e in chain if e.kind == "complete"]
+        args: Dict[str, Any] = {"request_id": request_id}
+        if completes:
+            args.update({k: _json_safe(v)
+                         for k, v in completes[-1].attrs.items()})
+        out.append({"name": f"request {request_id}", "cat": "sim.request",
+                    "ph": "X", "ts": start * 1e6,
+                    "dur": max(end - start, 0.0) * 1e6,
+                    "pid": _PID, "tid": tid, "args": args})
+        for event in chain:
+            if event.kind in ("decode_step", "complete"):
+                continue
+            out.append({"name": event.kind, "cat": "sim.request",
+                        "ph": "i", "s": "t", "ts": event.sim_time * 1e6,
+                        "pid": _PID, "tid": tid,
+                        "args": {k: _json_safe(v)
+                                 for k, v in event.attrs.items()}})
+    for event in run_level:
+        if event.kind == "decode_step":
+            continue
+        out.append({"name": event.kind, "cat": "sim.request",
+                    "ph": "i", "s": "t", "ts": event.sim_time * 1e6,
+                    "pid": _PID, "tid": _RUN_EVENTS_TID,
+                    "args": {k: _json_safe(v)
+                             for k, v in event.attrs.items()}})
+    return out
+
+
 def chrome_trace(source: Union[Tracer, Sequence[Span]],
                  timing: Optional[Any] = None,
-                 process_name: str = "repro") -> Dict[str, Any]:
+                 process_name: str = "repro",
+                 events: Optional[Any] = None) -> Dict[str, Any]:
     """Build a ``chrome://tracing`` JSON object from finished spans.
 
     ``timing`` (a :class:`~repro.npu.timing.TimingModel`) prices each
     span's attached kernel costs onto the four engine lanes; without it
-    only the host-thread timeline is emitted.  The result round-trips
-    through :func:`json.dumps` and loads in Perfetto.
+    only the host-thread timeline is emitted.  ``events`` (a
+    :class:`~repro.obs.timeline.EventLog` or its event list) adds one
+    lane per request on the simulated timeline — admit-to-complete bars
+    with fault/retry/evict markers.  The result round-trips through
+    :func:`json.dumps` and loads in Perfetto.
     """
     spans = _spans_of(source)
+    timeline_events = _events_of(events)  # before the local list shadows it
     events: List[Dict[str, Any]] = [{
         "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
         "args": {"name": process_name},
@@ -170,15 +249,19 @@ def chrome_trace(source: Union[Tracer, Sequence[Span]],
         for root in children.get(None, []):
             emit_engine(root)
 
+    events.extend(_request_lane_events(timeline_events))
+
     return {"traceEvents": events, "displayTimeUnit": "ms",
             "otherData": {"generator": "repro.obs"}}
 
 
 def write_chrome_trace(path: str, source: Union[Tracer, Sequence[Span]],
                        timing: Optional[Any] = None,
-                       process_name: str = "repro") -> Dict[str, Any]:
+                       process_name: str = "repro",
+                       events: Optional[Any] = None) -> Dict[str, Any]:
     """Write the Chrome-trace JSON to ``path``; returns the trace dict."""
-    trace = chrome_trace(source, timing=timing, process_name=process_name)
+    trace = chrome_trace(source, timing=timing, process_name=process_name,
+                         events=events)
     with open(path, "w") as handle:
         json.dump(trace, handle)
     return trace
@@ -312,14 +395,28 @@ def _slo_sections(metrics: Optional[Any]) -> Dict[str, Dict[str, float]]:
     return slo_summary(snapshot)
 
 
+def _energy_section(energy: Optional[Any]) -> Optional[Dict[str, Any]]:
+    """Normalize an EnergyAccountant-or-dict argument (duck-typed)."""
+    if energy is None:
+        return None
+    data = energy.to_json() if hasattr(energy, "to_json") else dict(energy)
+    if not data.get("total_j"):
+        return None
+    return data
+
+
 def text_report(source: Union[Tracer, Sequence[Span]],
                 timing: Optional[Any] = None,
-                metrics: Optional[Any] = None) -> str:
+                metrics: Optional[Any] = None,
+                energy: Optional[Any] = None) -> str:
     """Flamegraph-style text report: span tree plus kernel attribution.
 
     ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry` or its
     snapshot dict) adds the SLO section — p50/p95/p99 token-latency
-    percentiles recorded by the scheduler/engine hot paths.
+    percentiles recorded by the scheduler/engine hot paths.  ``energy``
+    (an :class:`~repro.obs.energy.EnergyAccountant` or its ``to_json``
+    dict, optionally carrying ``tokens``) adds the simulated-joule
+    attribution section.
     """
     spans = _spans_of(source)
     lines: List[str] = []
@@ -373,6 +470,20 @@ def text_report(source: Union[Tracer, Sequence[Span]],
             lines.append(
                 f"governors hit      {', '.join(resilience['governors'])}")
 
+    energy_data = _energy_section(energy)
+    if energy_data is not None:
+        lines.append("")
+        lines.append("== energy attribution (simulated joules) ==")
+        lines.append(f"total joules       {energy_data['total_j']:.6f}")
+        for key, label in (("prefill_j", "prefill"), ("decode_j", "decode"),
+                           ("idle_j", "idle (backoff)")):
+            if key in energy_data:
+                lines.append(f"  {label:<17s}{energy_data[key]:.6f}")
+        tokens = energy_data.get("tokens")
+        if tokens:
+            tpj = tokens / energy_data["total_j"]
+            lines.append(f"tokens per joule   {tpj:.1f}")
+
     slo = _slo_sections(metrics)
     if slo:
         lines.append("")
@@ -408,7 +519,8 @@ def text_report(source: Union[Tracer, Sequence[Span]],
 
 def report_data(source: Union[Tracer, Sequence[Span]],
                 timing: Optional[Any] = None,
-                metrics: Optional[Any] = None) -> Dict[str, Any]:
+                metrics: Optional[Any] = None,
+                energy: Optional[Any] = None) -> Dict[str, Any]:
     """Structured counterpart of :func:`text_report` for ``--json``.
 
     Returns a JSON-serializable dict with the same information the text
@@ -443,4 +555,5 @@ def report_data(source: Union[Tracer, Sequence[Span]],
         "kernels": kernels,
         "slo": _slo_sections(metrics),
         "metrics": _metrics_snapshot(metrics),
+        "energy": _energy_section(energy),
     }

@@ -21,7 +21,7 @@ from __future__ import annotations
 import bisect
 import math
 import threading
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ObservabilityError
 
@@ -30,12 +30,58 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "EMPTY_PERCENTILE",
+    "labeled_name",
+    "parse_labels",
     "get_metrics",
     "set_metrics",
     "counter",
     "gauge",
     "histogram",
 ]
+
+#: Sentinel returned by :meth:`Histogram.percentile`/:meth:`Histogram.quantile`
+#: on a histogram with no observations.  0.0 (not NaN) so summaries stay
+#: JSON-clean and comparisons stay total; callers that must distinguish
+#: "no data" from "zero latency" check ``count`` first.
+EMPTY_PERCENTILE = 0.0
+
+
+def labeled_name(name: str, labels: Optional[Mapping[str, Any]] = None) -> str:
+    """Canonical instrument name for a (base name, labels) pair.
+
+    Labels render as ``name{k=v,k2=v2}`` with keys sorted, so the same
+    label set always produces the same instrument.  Label keys/values
+    may not contain the ``{ } = ,`` delimiters or whitespace.
+    """
+    if not labels:
+        return name
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        for token in (key, value):
+            if any(c in token for c in "{}=, \t\n") or not token:
+                raise ObservabilityError(
+                    f"invalid metric label {key}={value!r} on {name}: labels "
+                    "may not be empty or contain '{', '}', '=', ',' or "
+                    "whitespace")
+        parts.append(f"{key}={value}")
+    return f"{name}{{{','.join(parts)}}}"
+
+
+def parse_labels(full_name: str) -> "Tuple[str, Dict[str, str]]":
+    """Split a canonical instrument name back into (base name, labels)."""
+    if not full_name.endswith("}") or "{" not in full_name:
+        return full_name, {}
+    base, _, body = full_name[:-1].partition("{")
+    labels: Dict[str, str] = {}
+    for part in body.split(","):
+        key, sep, value = part.partition("=")
+        if not sep or not key or not value:
+            raise ObservabilityError(
+                f"malformed labeled metric name {full_name!r}")
+        labels[key] = value
+    return base, labels
 
 
 def _default_buckets() -> List[float]:
@@ -46,10 +92,11 @@ def _default_buckets() -> List[float]:
 class Counter:
     """A monotonically increasing sum."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "base_name", "labels", "value")
 
     def __init__(self, name: str) -> None:
         self.name = name
+        self.base_name, self.labels = parse_labels(name)
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -59,16 +106,20 @@ class Counter:
         self.value += amount
 
     def snapshot(self) -> Dict[str, Any]:
-        return {"type": "counter", "value": self.value}
+        out: Dict[str, Any] = {"type": "counter", "value": self.value}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
 
 
 class Gauge:
     """A point-in-time value; tracks the maximum it has seen."""
 
-    __slots__ = ("name", "value", "max_value", "_seen")
+    __slots__ = ("name", "base_name", "labels", "value", "max_value", "_seen")
 
     def __init__(self, name: str) -> None:
         self.name = name
+        self.base_name, self.labels = parse_labels(name)
         self.value = 0.0
         self.max_value = 0.0
         self._seen = False
@@ -79,7 +130,11 @@ class Gauge:
         self._seen = True
 
     def snapshot(self) -> Dict[str, Any]:
-        return {"type": "gauge", "value": self.value, "max": self.max_value}
+        out: Dict[str, Any] = {"type": "gauge", "value": self.value,
+                               "max": self.max_value}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
 
 
 class Histogram:
@@ -91,8 +146,8 @@ class Histogram:
     quantiles to a single ``max``-anchored estimate.
     """
 
-    __slots__ = ("name", "buckets", "counts", "count", "total", "min",
-                 "max", "overflow")
+    __slots__ = ("name", "base_name", "labels", "buckets", "counts", "count",
+                 "total", "min", "max", "overflow")
 
     def __init__(self, name: str,
                  buckets: Optional[Sequence[float]] = None) -> None:
@@ -102,6 +157,7 @@ class Histogram:
                 f"histogram {name} needs strictly increasing bucket bounds, "
                 f"got {bounds}")
         self.name = name
+        self.base_name, self.labels = parse_labels(name)
         self.buckets = bounds                    # upper bounds; +inf implicit
         self.counts = [0] * (len(bounds) + 1)
         self.count = 0
@@ -124,12 +180,49 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram, in place.
+
+        The bucket bounds must match exactly (merging across different
+        resolutions would silently degrade quantile accuracy).  Merging
+        an empty histogram is a no-op; names and labels may differ —
+        this is the cross-window aggregation primitive of
+        :class:`~repro.obs.stream.MetricStream`.  Returns ``self`` so
+        merges chain like :meth:`~repro.npu.timing.KernelCost.merge`.
+        """
+        if not isinstance(other, Histogram):
+            raise ObservabilityError(
+                f"cannot merge {type(other).__name__} into histogram "
+                f"{self.name}")
+        if other.buckets != self.buckets:
+            raise ObservabilityError(
+                f"cannot merge histogram {other.name} into {self.name}: "
+                f"bucket bounds differ ({len(other.buckets)} vs "
+                f"{len(self.buckets)} bounds)")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.overflow += other.overflow
+        return self
+
     def quantile(self, q: float) -> float:
-        """Estimate the ``q``-quantile by intra-bucket interpolation."""
+        """Estimate the ``q``-quantile by intra-bucket interpolation.
+
+        Edge behavior (documented, never raising for ``q`` in range):
+
+        * an **empty** histogram returns :data:`EMPTY_PERCENTILE` (0.0)
+          — check ``count`` to distinguish "no data" from "zero";
+        * an **overflow-only** histogram (every observation beyond the
+          last bucket bound) interpolates between the observed ``min``
+          and ``max``, clamped to that range.
+        """
         if not 0.0 <= q <= 1.0:
             raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
-            return 0.0
+            return EMPTY_PERCENTILE
         rank = q * self.count
         seen = 0
         for i, n in enumerate(self.counts):
@@ -154,7 +247,9 @@ class Histogram:
         for geometric schemes such as :func:`~repro.obs.slo.hdr_buckets`).
         Percentiles that land in the overflow bucket (beyond the last
         bound) interpolate between the last bound and the observed
-        ``max`` — check ``overflow`` before trusting the tail.
+        ``max`` — check ``overflow`` before trusting the tail.  An empty
+        histogram returns :data:`EMPTY_PERCENTILE` instead of raising
+        (see :meth:`quantile` for the full edge-case contract).
         """
         if not 0.0 <= p <= 100.0:
             raise ObservabilityError(
@@ -180,15 +275,25 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named instrument registry with get-or-create semantics."""
+    """Named instrument registry with get-or-create semantics.
+
+    Instruments may carry **labels** (``labels={"kind": "dma"}``): the
+    registry canonicalizes the (name, labels) pair via
+    :func:`labeled_name`, so ``counter("faults", labels={"kind": "dma"})``
+    always returns the same instrument, and :meth:`labeled` returns
+    every instrument sharing a base name without any string parsing at
+    the consumer.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._metrics: Dict[str, Any] = {}
 
-    def _get_or_create(self, name: str, kind, *args):
-        if not name or " " in name:
+    def _get_or_create(self, name: str,
+                       labels: Optional[Mapping[str, Any]], kind, *args):
+        if not name or " " in name or "{" in name or "}" in name:
             raise ObservabilityError(f"invalid metric name {name!r}")
+        name = labeled_name(name, labels)
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
@@ -200,15 +305,25 @@ class MetricsRegistry:
                     f"{type(metric).__name__}, not {kind.__name__}")
             return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, Counter)
+    def counter(self, name: str,
+                labels: Optional[Mapping[str, Any]] = None) -> Counter:
+        return self._get_or_create(name, labels, Counter)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, Gauge)
+    def gauge(self, name: str,
+              labels: Optional[Mapping[str, Any]] = None) -> Gauge:
+        return self._get_or_create(name, labels, Gauge)
 
     def histogram(self, name: str,
-                  buckets: Optional[Sequence[float]] = None) -> Histogram:
-        return self._get_or_create(name, Histogram, buckets)
+                  buckets: Optional[Sequence[float]] = None,
+                  labels: Optional[Mapping[str, Any]] = None) -> Histogram:
+        return self._get_or_create(name, labels, Histogram, buckets)
+
+    def labeled(self, base_name: str) -> List[Any]:
+        """Every instrument registered under ``base_name``, sorted by
+        full name (the unlabeled instrument first, when present)."""
+        with self._lock:
+            return [metric for name, metric in sorted(self._metrics.items())
+                    if metric.base_name == base_name]
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Plain-value snapshot of every instrument, sorted by name."""
@@ -239,13 +354,15 @@ def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
     return previous
 
 
-def counter(name: str) -> Counter:
-    return _default_registry.counter(name)
+def counter(name: str,
+            labels: Optional[Mapping[str, Any]] = None) -> Counter:
+    return _default_registry.counter(name, labels)
 
 
-def gauge(name: str) -> Gauge:
-    return _default_registry.gauge(name)
+def gauge(name: str, labels: Optional[Mapping[str, Any]] = None) -> Gauge:
+    return _default_registry.gauge(name, labels)
 
 
-def histogram(name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
-    return _default_registry.histogram(name, buckets)
+def histogram(name: str, buckets: Optional[Sequence[float]] = None,
+              labels: Optional[Mapping[str, Any]] = None) -> Histogram:
+    return _default_registry.histogram(name, buckets, labels)

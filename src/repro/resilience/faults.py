@@ -50,6 +50,7 @@ from ..errors import (
     TCMAllocationError,
 )
 from ..obs import metrics as obs_metrics
+from ..obs import timeline as obs_timeline
 from ..obs import trace as obs_trace
 
 __all__ = [
@@ -348,6 +349,10 @@ class FaultInjector:
                 event.at, []).append(event)
         self._counters: Dict[str, int] = {}
         self.injected: List[FaultRecord] = []
+        #: Optional SimClock the owning run charges recovery time to;
+        #: when set, fired faults also land on the structured event log
+        #: (:mod:`repro.obs.timeline`) with their simulated timestamp.
+        self.clock = None
 
     # ------------------------------------------------------------------
     @property
@@ -365,13 +370,20 @@ class FaultInjector:
                              step=step, detail=detail)
         self.injected.append(record)
         if obs_trace.enabled():
-            obs_metrics.get_metrics().counter(
-                "repro.resilience.faults_injected").inc()
+            reg = obs_metrics.get_metrics()
+            reg.counter("repro.resilience.faults_injected").inc()
+            reg.counter("repro.resilience.faults_injected",
+                        labels={"kind": event.kind,
+                                "site": event.site}).inc()
             with obs_trace.span("resilience.fault", category="resilience",
                                 kind=event.kind, site=event.site,
                                 at=index, step=step if step is not None
                                 else -1):
                 pass
+        if self.clock is not None and obs_timeline.timeline_enabled():
+            obs_timeline.emit("fault", self.clock.total_seconds, step=step,
+                              fault_kind=event.kind, site=event.site,
+                              at=index)
         return record
 
     # ------------------------------------------------------------------

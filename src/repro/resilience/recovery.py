@@ -36,6 +36,7 @@ from ..errors import (
 from ..npu.power_mgmt import GOVERNORS
 from ..npu.timing import SimClock
 from ..obs import metrics as obs_metrics
+from ..obs import timeline as obs_timeline
 from ..obs import trace as obs_trace
 from .faults import FaultPlan
 
@@ -116,6 +117,10 @@ class ResilientSession:
                                 attempt=attempt, reopened=reopened,
                                 error=type(error).__name__):
                 pass
+        if obs_timeline.timeline_enabled():
+            obs_timeline.emit("retry", self.clock.total_seconds,
+                              attempt=attempt, reopened=reopened,
+                              error=type(error).__name__)
 
     def submit(self, opcode: int, payload: np.ndarray) -> np.ndarray:
         """Submit with retry; see :meth:`FastRPCSession.submit`."""

@@ -1,0 +1,176 @@
+"""Tests for the online anomaly detectors (repro.obs.anomaly)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.anomaly import (
+    EwmaDetector,
+    MadDetector,
+    RateOfChangeDetector,
+    default_detectors,
+    detect_series,
+)
+
+
+def _points(values):
+    return [(i, i * 0.01, v) for i, v in enumerate(values)]
+
+
+class TestEwmaDetector:
+    def test_flags_a_spike_after_warmup(self):
+        detector = EwmaDetector()
+        flat = [1.0] * 6
+        for value in flat:
+            assert detector.observe(value) is None
+        score, evidence = detector.observe(3.0)
+        assert score > detector.threshold
+        assert evidence[-1] == 3.0  # flagged value rides along
+
+    def test_warmup_points_never_fire(self):
+        detector = EwmaDetector(warmup=3)
+        assert detector.observe(100.0) is None
+        assert detector.observe(0.0) is None
+        assert detector.observe(100.0) is None
+
+    def test_flat_series_stays_quiet(self):
+        detector = EwmaDetector()
+        for _ in range(50):
+            assert detector.observe(2.5) is None
+
+    def test_min_rel_suppresses_tiny_absolute_wiggle(self):
+        detector = EwmaDetector(min_rel=0.1)
+        for _ in range(10):
+            detector.observe(100.0)
+        # 5% off a stable level of 100 is within the relative floor
+        assert detector.observe(105.0) is None
+
+    def test_zero_baseline_spike_scores_one_over_min_rel(self):
+        detector = EwmaDetector(min_rel=0.1)
+        for _ in range(5):
+            detector.observe(0.0)
+        score, _ = detector.observe(1.0)
+        assert score == pytest.approx(10.0)
+
+    def test_rejects_nan_and_bad_params(self):
+        with pytest.raises(ObservabilityError):
+            EwmaDetector(alpha=0.0)
+        with pytest.raises(ObservabilityError):
+            EwmaDetector(alpha=1.5)
+        with pytest.raises(ObservabilityError):
+            EwmaDetector(threshold=0.0)
+        with pytest.raises(ObservabilityError):
+            EwmaDetector().observe(float("nan"))
+
+
+class TestMadDetector:
+    def test_flags_outlier_against_rolling_median(self):
+        detector = MadDetector()
+        for value in (1.0, 1.1, 0.9, 1.0, 1.05):
+            assert detector.observe(value) is None
+        score, evidence = detector.observe(5.0)
+        assert score > detector.threshold
+        assert evidence[-1] == 5.0
+
+    def test_one_prior_spike_does_not_drag_the_baseline(self):
+        # after a spike enters the window, the *median* stays put, so a
+        # normal value right after is not flagged as a "return" anomaly
+        detector = MadDetector()
+        for value in (1.0, 1.1, 0.9, 1.0, 1.05):
+            detector.observe(value)
+        assert detector.observe(5.0) is not None
+        assert detector.observe(1.0) is None
+
+    def test_rolling_window_is_bounded(self):
+        detector = MadDetector(window=4)
+        for i in range(100):
+            detector.observe(float(i % 3))
+        assert len(detector._values) == 4
+
+    def test_rejects_bad_params_and_nan(self):
+        with pytest.raises(ObservabilityError):
+            MadDetector(window=2)
+        with pytest.raises(ObservabilityError):
+            MadDetector(warmup=1)
+        with pytest.raises(ObservabilityError):
+            MadDetector().observe(float("nan"))
+
+
+class TestRateOfChangeDetector:
+    def test_fires_on_throttle_sized_jump(self):
+        detector = RateOfChangeDetector()
+        assert detector.observe(1e-4) is None  # first point: no prev
+        score, evidence = detector.observe(1.8e-4)
+        assert score == pytest.approx(0.8)
+        assert evidence == (pytest.approx(1e-4), pytest.approx(1.8e-4))
+
+    def test_quiet_on_small_drift(self):
+        detector = RateOfChangeDetector()
+        detector.observe(1.0)
+        assert detector.observe(1.3) is None
+
+    def test_zero_to_nonzero_transition_does_not_fire(self):
+        # counters routinely go 0 -> 1; that is a first occurrence, not
+        # a rate-of-change cliff
+        detector = RateOfChangeDetector()
+        detector.observe(0.0)
+        assert detector.observe(1.0) is None
+
+    def test_nonzero_to_zero_fires(self):
+        detector = RateOfChangeDetector()
+        detector.observe(2.0)
+        fired = detector.observe(0.0)
+        assert fired is not None
+        assert fired[0] == pytest.approx(1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ObservabilityError):
+            RateOfChangeDetector().observe(float("nan"))
+
+
+class TestDetectSeries:
+    def test_detects_spike_with_typed_events(self):
+        values = [1.0, 1.0, 1.1, 0.9, 1.0, 1.0, 4.0, 1.0]
+        events = detect_series("step_latency_seconds.p95", _points(values))
+        assert events, "spike at window 6 must be flagged"
+        spike = [e for e in events if e.window_index == 6]
+        assert spike
+        for event in spike:
+            assert event.metric == "step_latency_seconds.p95"
+            assert event.value == 4.0
+            assert event.sim_time == pytest.approx(0.06)
+            assert event.score > event.threshold
+            assert event.evidence  # window of evidence travels with it
+
+    def test_flat_series_yields_nothing(self):
+        assert detect_series("tokens", _points([3.0] * 20)) == []
+
+    def test_deterministic_and_sorted(self):
+        values = [1.0, 1.0, 1.0, 1.0, 1.0, 5.0, 1.0, 5.0]
+        a = detect_series("m", _points(values))
+        b = detect_series("m", _points(values))
+        assert [e.to_json() for e in a] == [e.to_json() for e in b]
+        keys = [(e.window_index, e.metric, e.detector) for e in a]
+        assert keys == sorted(keys)
+
+    def test_detectors_are_reset_between_series(self):
+        detectors = default_detectors()
+        spiky = _points([1.0, 1.0, 1.0, 1.0, 1.0, 9.0])
+        first = detect_series("m", spiky, detectors)
+        second = detect_series("m", spiky, detectors)
+        assert [e.to_json() for e in first] == [e.to_json() for e in second]
+
+    def test_to_json_roundtrips_evidence(self):
+        events = detect_series(
+            "m", _points([1.0, 1.0, 1.0, 1.0, 1.0, 9.0]))
+        data = events[0].to_json()
+        assert data["metric"] == "m"
+        assert isinstance(data["evidence"], list)
+        assert data["evidence"][-1] == 9.0
+
+    def test_default_detectors_are_fresh_instances(self):
+        first = default_detectors()
+        second = default_detectors()
+        assert {d.name for d in first} == {"ewma", "mad", "rate_of_change"}
+        assert all(a is not b for a, b in zip(first, second))

@@ -1,0 +1,133 @@
+"""Tests for windowed metric streams (repro.obs.stream)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import labeled_name
+from repro.obs.stream import MetricStream, stream_from_log
+from repro.obs.timeline import EventLog
+
+
+class TestMetricStream:
+    def test_counters_accumulate_within_a_window(self):
+        stream = MetricStream(window_seconds=0.010)
+        stream.record_counter("tokens", 0.001, 4.0)
+        stream.record_counter("tokens", 0.009, 4.0)
+        stream.record_counter("tokens", 0.011, 2.0)
+        assert stream.series("tokens") == [(0, 8.0), (1, 2.0)]
+
+    def test_rate_divides_by_window_seconds(self):
+        stream = MetricStream(window_seconds=0.010)
+        stream.record_counter("tokens", 0.001, 5.0)
+        (index, rate), = stream.series("tokens", "rate")
+        assert (index, rate) == (0, pytest.approx(500.0))
+
+    def test_gauges_last_write_wins_and_carry_forward_through_gaps(self):
+        stream = MetricStream(window_seconds=0.010)
+        stream.record_gauge("governor_level", 0.001, 0.0)
+        stream.record_gauge("governor_level", 0.009, 2.0)
+        stream.record_counter("tokens", 0.035, 1.0)  # opens window 3
+        series = stream.series("governor_level")
+        # window 0 closes at level 2; empty windows 1-2 carry it forward
+        assert series == [(0, 2.0), (1, 2.0), (2, 2.0), (3, 2.0)]
+
+    def test_gap_windows_have_zero_counters(self):
+        stream = MetricStream(window_seconds=0.010)
+        stream.record_counter("faults", 0.001)
+        stream.record_counter("faults", 0.025)
+        assert stream.series("faults") == [(0, 1.0), (1, 0.0), (2, 1.0)]
+        assert len(stream) == 3
+
+    def test_sample_percentiles_and_merged_histogram(self):
+        stream = MetricStream(window_seconds=0.010)
+        for i in range(10):
+            stream.record_sample("step_latency_seconds", 0.001, 1e-4)
+        for i in range(10):
+            stream.record_sample("step_latency_seconds", 0.011, 2e-4)
+        w0, w1 = stream.windows()
+        assert w0.value("step_latency_seconds", "count") == 10
+        assert w0.value("step_latency_seconds", "p95") >= 1e-4
+        merged = stream.merged_histogram("step_latency_seconds")
+        assert merged.count == 20
+        assert merged.max == pytest.approx(2e-4)
+
+    def test_missing_names_read_as_zero(self):
+        stream = MetricStream(window_seconds=0.010)
+        stream.record_counter("tokens", 0.001)
+        window = stream.windows()[0]
+        assert window.value("faults") == 0.0
+        assert window.value("faults", "rate") == 0.0
+        assert window.value("nope", "p95") == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ObservabilityError):
+            MetricStream(window_seconds=0.0)
+        with pytest.raises(ObservabilityError):
+            MetricStream(start_time=-1.0)
+        stream = MetricStream(window_seconds=0.010, start_time=1.0)
+        with pytest.raises(ObservabilityError):
+            stream.record_counter("tokens", 0.5)
+        with pytest.raises(ObservabilityError):
+            stream.record_counter("tokens", 1.5, -1.0)
+
+    def test_unknown_stat_raises(self):
+        stream = MetricStream(window_seconds=0.010)
+        stream.record_sample("s", 0.001, 1.0)
+        with pytest.raises(ObservabilityError):
+            stream.windows()[0].value("s", "quux")
+
+    def test_to_json_is_sorted_and_complete(self):
+        stream = MetricStream(window_seconds=0.010)
+        stream.record_counter("b", 0.001)
+        stream.record_counter("a", 0.001)
+        data = stream.to_json()
+        assert data["window_seconds"] == 0.010
+        assert list(data["windows"][0]["counters"]) == ["a", "b"]
+
+
+class TestStreamFromLog:
+    def _chaos_log(self) -> EventLog:
+        log = EventLog()
+        log.emit("prefill", 0.0005, joules=1e-5)
+        log.emit("decode_step", 0.001, step=0, seconds=1e-4, live_batch=4,
+                 joules=2e-5, kv_blocks=8, governor_level=0)
+        log.emit("fault", 0.002, fault_kind="dma", site="decode_step")
+        log.emit("retry", 0.003, retry_kind="dma", joules=5e-6)
+        log.emit("rebuild", 0.004, request_id=1, tokens=3, joules=1e-6)
+        log.emit("evict", 0.004, request_id=2)
+        log.emit("decode_step", 0.012, step=1, seconds=2e-4, live_batch=3,
+                 joules=2e-5, kv_blocks=10, governor_level=2)
+        log.emit("complete", 0.013, request_id=0, reason="length",
+                 tokens=8, latency_seconds=0.0125, joules=3e-5)
+        return log
+
+    def test_folds_counters_gauges_and_samples(self):
+        stream = stream_from_log(self._chaos_log(), window_seconds=0.010)
+        w0, w1 = stream.windows()
+        assert w0.value("tokens") == 4.0
+        assert w0.value("faults") == 1.0
+        assert w0.value(labeled_name("faults", {"kind": "dma"})) == 1.0
+        assert w0.value("retries") == 1.0
+        assert w0.value("rebuilds") == 1.0
+        assert w0.value("evictions") == 1.0
+        assert w0.value("step_latency_seconds", "count") == 1
+        # prefill + decode + retry + rebuild joules all land in window 0
+        assert w0.value("joules") == pytest.approx(1e-5 + 2e-5 + 5e-6 + 1e-6)
+        assert w1.value("tokens") == 3.0
+        assert w1.value("completions") == 1.0
+        assert w1.value("governor_level") == 2.0
+        assert w1.value("kv_blocks") == 10.0
+        assert w1.value("candidate_latency_seconds", "count") == 1
+
+    def test_fold_is_deterministic(self):
+        log = self._chaos_log()
+        a = stream_from_log(log, window_seconds=0.010).to_json()
+        b = stream_from_log(log, window_seconds=0.010).to_json()
+        assert a == b
+
+    def test_empty_log_folds_to_empty_stream(self):
+        stream = stream_from_log(EventLog(), window_seconds=0.010)
+        assert len(stream) == 0
+        assert stream.windows() == []
