@@ -11,6 +11,8 @@ Commands:
 * ``bench`` — run the benchmark suite, snapshot it, gate on regressions;
 * ``monitor`` — replay a scenario and render timeline/stream/anomaly/
   energy telemetry (schema ``repro.monitor/v1`` with ``--json``);
+* ``fleet`` — discrete-event fleet serving simulation with capacity
+  planning (schema ``repro.fleet/v1`` with ``--json``);
 * ``fuzz`` — seeded differential fuzzing over the oracle registry;
 * ``goldens`` — check/update the committed golden fixtures.
 """
@@ -171,6 +173,45 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="exit 2 if more than N anomalies were "
                               "flagged (CI quiet-scenario gate)")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate a phone fleet serving a seeded arrival trace and "
+             "report latency percentiles plus devices needed at a p99 "
+             "token-latency target")
+    fleet.add_argument("--devices", type=int, default=100,
+                       help="population size; devices round-robin the "
+                            "Table 3 registry across NPU generations")
+    fleet.add_argument("--qps", type=float, default=10.0,
+                       help="mean arrival rate of the load trace")
+    fleet.add_argument("--horizon-seconds", type=float, default=60.0,
+                       help="trace length in simulated seconds")
+    fleet.add_argument("--requests", type=int, default=None, metavar="N",
+                       help="cap the trace at N requests (with "
+                            "--horizon-seconds, whichever bound hits "
+                            "first)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="trace seed; the report is a pure function of "
+                            "the flags")
+    fleet.add_argument("--pattern", default="poisson",
+                       choices=["poisson", "diurnal"],
+                       help="arrival process (diurnal swings the rate "
+                            "sinusoidally around --qps)")
+    fleet.add_argument("--p99-target-ms", type=float, default=250.0,
+                       help="p99 token-latency target the capacity plan "
+                            "sizes for")
+    fleet.add_argument("--queue-depth", type=int, default=64,
+                       help="admission-queue bound; overflow sheds the "
+                            "worst-priority request")
+    fleet.add_argument("--model", default="qwen2.5-1.5b",
+                       help="model key served by every device")
+    fleet.add_argument("--no-capacity-plan", action="store_true",
+                       help="skip the devices-per-QPS capacity search")
+    fleet.add_argument("--json", default=None, metavar="PATH",
+                       dest="json_out",
+                       help="write the repro.fleet/v1 report JSON to PATH "
+                            "('-' for stdout); byte-identical across "
+                            "replays")
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -589,6 +630,35 @@ def _cmd_monitor(scenario: str, device: str, seed: int, windows: int,
     return 0
 
 
+def _cmd_fleet(devices: int, qps: float, horizon_seconds: float,
+               max_requests: Optional[int], seed: int, pattern: str,
+               p99_target_ms: float, queue_depth: int, model: str,
+               no_capacity_plan: bool, json_out: Optional[str],
+               out) -> int:
+    from .errors import ReproError
+    from .fleet import run_fleet
+
+    try:
+        report = run_fleet(
+            devices, qps, horizon_seconds=horizon_seconds,
+            max_requests=max_requests, seed=seed, pattern=pattern,
+            queue_depth=queue_depth, p99_target_ms=p99_target_ms,
+            model_name=model, with_capacity_plan=not no_capacity_plan)
+    except ReproError as error:
+        out.write(f"error: {error}\n")
+        return 2
+
+    out.write(report.render())
+    if json_out is not None:
+        if json_out == "-":
+            out.write(report.to_json_text())
+        else:
+            with open(json_out, "w") as handle:
+                handle.write(report.to_json_text())
+            out.write(f"fleet JSON written to {json_out}\n")
+    return 0
+
+
 def _cmd_fuzz(trials: int, seed: int, oracle_names, replay, shrink: bool,
               list_oracles: bool, out) -> int:
     from .testing import ORACLES, fuzz, run_repro
@@ -669,6 +739,11 @@ def _dispatch(args, out) -> int:
                             args.windows, args.window_ms, args.json_out,
                             args.trace_out, args.min_anomalies,
                             args.max_anomalies, out)
+    if args.command == "fleet":
+        return _cmd_fleet(args.devices, args.qps, args.horizon_seconds,
+                          args.requests, args.seed, args.pattern,
+                          args.p99_target_ms, args.queue_depth, args.model,
+                          args.no_capacity_plan, args.json_out, out)
     if args.command == "fuzz":
         return _cmd_fuzz(args.trials, args.seed, args.oracle, args.replay,
                          not args.no_shrink, args.list_oracles, out)

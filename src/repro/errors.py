@@ -134,6 +134,15 @@ class DeadlineExceeded(ReproError):
     """
 
 
+class FleetError(ReproError):
+    """Raised by the discrete-event fleet layer (:mod:`repro.fleet`).
+
+    Covers malformed traces and populations, scheduling an event in the
+    simulated past, and capacity planning that cannot meet its latency
+    target within the device cap.
+    """
+
+
 class ScalingError(ReproError):
     """Raised by the test-time-scaling layer (bad budget, empty beams)."""
 

@@ -1,0 +1,14 @@
+"""Re-export of the shared discrete-event kernel (:mod:`repro.sim`).
+
+The fleet layer, the continuous-batching scheduler and the fault
+injector all advance the same :class:`~repro.sim.SimClock`; this module
+exists so fleet code (and readers following the ISSUE's
+``repro.fleet.clock`` name) find the kernel next to the layer that
+motivated extracting it.
+"""
+
+from __future__ import annotations
+
+from ..sim import EventHandle, EventLoop, SimClock
+
+__all__ = ["SimClock", "EventHandle", "EventLoop"]

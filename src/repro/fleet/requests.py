@@ -1,0 +1,137 @@
+"""Fleet request frontend: typed requests and admission control.
+
+A serving frontend cannot queue unboundedly — overload must shed
+deterministically, and latency-sensitive tenants must overtake batch
+traffic.  :class:`AdmissionController` is a bounded priority queue with
+shed-on-overflow: requests order by ``(priority, arrival sequence)``
+(lower priority value first, FIFO within a tenant class), and when the
+queue is full the *worst* entry — the incoming request or the worst
+queued one — is shed, so a high-priority arrival always displaces
+low-priority backlog rather than being dropped.
+
+Everything is deterministic: insertion order is the tie-breaker, there
+is no RNG and no host clock anywhere in the frontend.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import FleetError
+
+__all__ = ["FleetRequest", "AdmissionController", "DEFAULT_TENANT_PRIORITIES"]
+
+#: Tenant classes of the default load generator: interactive traffic
+#: preempts batch (lower value = more urgent).
+DEFAULT_TENANT_PRIORITIES: Dict[str, int] = {"interactive": 0, "batch": 1}
+
+
+@dataclass(frozen=True)
+class FleetRequest:
+    """One Best-of-N serving request arriving at the fleet frontend."""
+
+    request_id: int
+    arrival_seconds: float
+    tenant: str = "interactive"
+    priority: int = 0
+    prompt_tokens: int = 64
+    n_candidates: int = 4
+    max_new_tokens: int = 32
+    #: Explicit prompt token ids for engine-backed devices; analytic
+    #: devices only need ``prompt_tokens``.  Kept a tuple so the
+    #: request stays hashable/frozen.
+    prompt: Optional[Tuple[int, ...]] = None
+    #: Optional :class:`~repro.resilience.FaultPlan` spec string an
+    #: engine-backed device arms for this request's run.
+    fault_spec: str = ""
+
+    def __post_init__(self) -> None:
+        if self.arrival_seconds < 0:
+            raise FleetError(
+                f"request {self.request_id} arrives at negative time "
+                f"{self.arrival_seconds}")
+        if (self.prompt_tokens <= 0 or self.n_candidates <= 0
+                or self.max_new_tokens <= 0):
+            raise FleetError(
+                f"request {self.request_id} needs positive prompt/"
+                f"candidates/tokens, got ({self.prompt_tokens}, "
+                f"{self.n_candidates}, {self.max_new_tokens})")
+
+    @property
+    def total_new_tokens(self) -> int:
+        """Decode tokens the request generates across all candidates."""
+        return self.n_candidates * self.max_new_tokens
+
+
+class AdmissionController:
+    """Bounded per-tenant priority queue with shed-on-overflow.
+
+    ``tenant_priorities`` maps tenant names to priority classes and
+    overrides each request's own ``priority`` field when its tenant is
+    listed; unlisted tenants keep the request's value.  The queue is a
+    sorted list keyed ``(priority, seq)`` — bounded depth keeps the
+    O(depth) insert deterministic and cheap.
+    """
+
+    def __init__(self, max_queue_depth: int = 64,
+                 tenant_priorities: Optional[Dict[str, int]] = None) -> None:
+        if max_queue_depth <= 0:
+            raise FleetError(
+                f"max_queue_depth must be positive, got {max_queue_depth}")
+        self.max_queue_depth = max_queue_depth
+        self.tenant_priorities = (dict(tenant_priorities)
+                                  if tenant_priorities is not None
+                                  else dict(DEFAULT_TENANT_PRIORITIES))
+        self._queue: List[Tuple[int, int, FleetRequest]] = []
+        self._seq = 0
+        self.n_offered = 0
+        self.n_shed = 0
+        self.n_popped = 0
+        self.peak_depth = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def priority_of(self, request: FleetRequest) -> int:
+        return self.tenant_priorities.get(request.tenant, request.priority)
+
+    def offer(self, request: FleetRequest
+              ) -> Tuple[bool, Optional[FleetRequest]]:
+        """Try to enqueue; returns ``(admitted, shed_request)``.
+
+        On overflow the entry with the worst ``(priority, seq)`` key is
+        shed: the incoming request if it is worst (``admitted=False``),
+        otherwise the displaced queue tail (``admitted=True`` with the
+        victim returned for shed accounting).
+        """
+        self.n_offered += 1
+        key = (self.priority_of(request), self._seq, request)
+        self._seq += 1
+        shed: Optional[FleetRequest] = None
+        if len(self._queue) >= self.max_queue_depth:
+            worst = self._queue[-1]
+            if key[:2] >= worst[:2]:
+                self.n_shed += 1
+                return False, request
+            self._queue.pop()
+            shed = worst[2]
+            self.n_shed += 1
+        bisect.insort(self._queue, key)
+        self.peak_depth = max(self.peak_depth, len(self._queue))
+        return True, shed
+
+    def pop(self) -> Optional[FleetRequest]:
+        """Dequeue the most urgent request, or ``None`` when empty."""
+        if not self._queue:
+            return None
+        self.n_popped += 1
+        return self._queue.pop(0)[2]
+
+    def drain(self) -> List[FleetRequest]:
+        """Remove and return everything still queued, in service order."""
+        out = [entry[2] for entry in self._queue]
+        self._queue.clear()
+        return out

@@ -1,0 +1,201 @@
+"""The fleet simulation: one event loop driving the whole population.
+
+Arrivals, dispatches and completions are events on a single shared
+:class:`~repro.sim.EventLoop`; devices price each request's service
+time synchronously at dispatch (analytic model or a real scheduler run
+on the device-local clock) and the completion lands back on the global
+timeline ``service_seconds`` later.  Dispatch order is deterministic:
+the longest-idle available device (ties by device id) serves the most
+urgent queued request.
+
+Timeline integration: with the structured event log armed
+(:mod:`repro.obs.timeline`), the simulation emits ``queue`` /
+``dispatch`` / ``shed`` / ``complete`` events per request, so
+``repro monitor`` folds a fleet scenario exactly like a single-engine
+one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import FleetError
+from ..obs import timeline as obs_timeline
+from ..obs.metrics import Histogram
+from ..obs.slo import hdr_buckets
+from ..sim import EventLoop
+from .devices import FleetDevice
+from .requests import AdmissionController, FleetRequest
+
+__all__ = ["FleetResult", "FleetSimulation"]
+
+#: Fleet-wide aggregation resolution (4 sub-buckets/octave); device
+#: histograms use generation-dependent bits, so merging into these
+#: bounds is the mixed-resolution path by construction.
+_FLEET_HDR_BITS = 2
+
+
+def _fleet_histogram(name: str, lo: float, hi: float) -> Histogram:
+    return Histogram(name, buckets=hdr_buckets(
+        lo, hi, precision_bits=_FLEET_HDR_BITS))
+
+
+@dataclass
+class FleetResult:
+    """Raw outcome of one simulated serving window."""
+
+    devices: List[FleetDevice]
+    n_arrivals: int = 0
+    n_dispatched: int = 0
+    n_completed: int = 0
+    n_shed: int = 0
+    n_unserved: int = 0
+    makespan_seconds: float = 0.0
+    peak_queue_depth: int = 0
+    tokens: int = 0
+    joules: float = 0.0
+    n_faults: int = 0
+    n_retries: int = 0
+    request_latency: Histogram = field(default_factory=lambda: _fleet_histogram(
+        "fleet.request_latency_seconds", 1e-3, 1074.0))
+    queue_wait: Histogram = field(default_factory=lambda: _fleet_histogram(
+        "fleet.queue_wait_seconds", 1e-4, 1074.0))
+
+    def token_latency(self) -> Histogram:
+        """All devices' token-latency histograms folded into one.
+
+        Per-device instruments carry generation-matched resolutions
+        (:data:`~repro.fleet.devices.GENERATION_HDR_BITS`), so this is
+        the mixed-resolution :meth:`~repro.obs.metrics.Histogram.merge`
+        running in production, not just in its regression test.
+        """
+        merged = _fleet_histogram("fleet.token_latency_seconds", 1e-4, 134.0)
+        for device in self.devices:
+            if device.histogram.count:
+                merged.merge(device.histogram)
+        return merged
+
+    @property
+    def n_throttle_events(self) -> int:
+        return sum(d.thermal.n_throttles for d in self.devices)
+
+    @property
+    def n_batteries_depleted(self) -> int:
+        return sum(1 for d in self.devices if d.battery.depleted)
+
+    def busy_fraction(self) -> float:
+        """Mean device utilization over the makespan."""
+        if self.makespan_seconds <= 0.0 or not self.devices:
+            return 0.0
+        busy = sum(d.busy_seconds for d in self.devices)
+        return busy / (len(self.devices) * self.makespan_seconds)
+
+
+class FleetSimulation:
+    """Drives a device population through an arrival trace."""
+
+    def __init__(self, devices: Sequence[FleetDevice],
+                 requests: Sequence[FleetRequest],
+                 admission: Optional[AdmissionController] = None,
+                 loop: Optional[EventLoop] = None) -> None:
+        if not devices:
+            raise FleetError("fleet simulation needs at least one device")
+        ids = [d.device_id for d in devices]
+        if len(set(ids)) != len(ids):
+            raise FleetError(f"duplicate device ids in population: {ids}")
+        self.devices = list(devices)
+        self._by_id: Dict[int, FleetDevice] = {d.device_id: d
+                                               for d in self.devices}
+        self.requests = sorted(requests,
+                               key=lambda r: (r.arrival_seconds,
+                                              r.request_id))
+        self.admission = (admission if admission is not None
+                          else AdmissionController())
+        self.loop = loop if loop is not None else EventLoop()
+        # (idle_since, device_id): longest-idle first, ties by id — a
+        # device appears at most once (pushed only on release)
+        self._idle: List[Tuple[float, int]] = [
+            (0.0, d.device_id) for d in sorted(self.devices,
+                                               key=lambda d: d.device_id)]
+        heapq.heapify(self._idle)
+        self.result = FleetResult(devices=self.devices)
+
+    # ------------------------------------------------------------------
+    def run(self) -> FleetResult:
+        for request in self.requests:
+            self.loop.at(request.arrival_seconds, self._arrive, request)
+        self.loop.run()
+        # whatever is still queued after the last completion can never
+        # be served (every device depleted): account, don't lose
+        leftover = self.admission.drain()
+        self.result.n_unserved = len(leftover)
+        self.result.peak_queue_depth = self.admission.peak_depth
+        return self.result
+
+    # ------------------------------------------------------------------
+    def _arrive(self, request: FleetRequest) -> None:
+        now = self.loop.now
+        self.result.n_arrivals += 1
+        obs_timeline.emit("queue", now, request_id=request.request_id,
+                          tenant=request.tenant)
+        admitted, shed = self.admission.offer(request)
+        if not admitted:
+            self._shed(request, now)
+        elif shed is not None:
+            self._shed(shed, now)
+        self._dispatch()
+
+    def _shed(self, request: FleetRequest, now: float) -> None:
+        self.result.n_shed += 1
+        obs_timeline.emit("shed", now, request_id=request.request_id,
+                          tenant=request.tenant,
+                          queue_depth=len(self.admission))
+
+    def _dispatch(self) -> None:
+        now = self.loop.now
+        while len(self.admission) > 0 and self._idle:
+            _, device_id = heapq.heappop(self._idle)
+            device = self._by_id[device_id]
+            if device.battery.depleted:
+                continue  # drops out of the rotation permanently
+            request = self.admission.pop()
+            assert request is not None
+            wait = now - request.arrival_seconds
+            self.queue_wait_observe(wait)
+            outcome = device.serve(request, now)
+            self.result.n_dispatched += 1
+            obs_timeline.emit("dispatch", now,
+                              request_id=request.request_id,
+                              device=device.device_id,
+                              generation=device.generation,
+                              wait_seconds=wait,
+                              service_seconds=outcome.service_seconds)
+            self.loop.after(outcome.service_seconds, self._complete,
+                            device, request, outcome)
+
+    def queue_wait_observe(self, wait: float) -> None:
+        # zero waits (dispatch at arrival) sit below the first bound —
+        # fine, the histogram's first bucket covers them
+        self.result.queue_wait.observe(wait)
+
+    def _complete(self, device: FleetDevice, request: FleetRequest,
+                  outcome) -> None:
+        now = self.loop.now
+        device.complete(request, outcome, now)
+        result = self.result
+        result.n_completed += 1
+        result.tokens += outcome.tokens
+        result.joules += outcome.joules
+        result.n_faults += outcome.n_faults
+        result.n_retries += outcome.n_retries
+        result.makespan_seconds = max(result.makespan_seconds, now)
+        result.request_latency.observe(now - request.arrival_seconds)
+        obs_timeline.emit("complete", now, request_id=request.request_id,
+                          reason="served", tokens=outcome.tokens,
+                          latency_seconds=now - request.arrival_seconds,
+                          joules=outcome.joules)
+        if not device.battery.depleted:
+            heapq.heappush(self._idle, (now, device.device_id))
+        self._dispatch()

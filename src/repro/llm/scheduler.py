@@ -40,7 +40,7 @@ from ..errors import (
     TransientFaultError,
 )
 from ..npu.power_mgmt import THROTTLE_LADDER
-from ..npu.timing import SimClock
+from ..sim import SimClock
 from ..obs import energy as obs_energy
 from ..obs import metrics as obs_metrics
 from ..obs import timeline as obs_timeline
@@ -207,7 +207,8 @@ class ContinuousBatchingScheduler:
                  length_schedule: Optional[Sequence[int]] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  deadline_seconds: Optional[float] = None,
-                 retry_policy: Optional[RetryPolicy] = None
+                 retry_policy: Optional[RetryPolicy] = None,
+                 clock: Optional[SimClock] = None
                  ) -> ScheduledGeneration:
         """Decode ``n_candidates`` continuations, backfilling freed slots.
 
@@ -228,6 +229,13 @@ class ContinuousBatchingScheduler:
         wall-clock: once exceeded, live candidates retire with their
         tokens so far (``finish_reason="deadline"``) and no further
         candidates are admitted.
+
+        ``clock`` optionally injects a shared :class:`~repro.sim.SimClock`
+        (the fleet layer passes a device-local clock so every request on
+        a device accumulates onto one timeline).  The run's
+        ``sim_seconds`` and deadline are measured relative to the
+        clock's reading at entry, so a fresh default clock — the
+        existing single-run path — is bitwise unchanged.
         """
         engine = self.engine
         if n_candidates <= 0:
@@ -250,7 +258,7 @@ class ContinuousBatchingScheduler:
         engine.reset()
         cache = engine.cache
         assert isinstance(cache, PagedKVCache)
-        clock = SimClock()
+        clock = clock if clock is not None else SimClock()
 
         result = ScheduledGeneration(sequences=[], prefill_cost=None,
                                      prompt_tokens=len(prompt))
@@ -284,9 +292,13 @@ class ContinuousBatchingScheduler:
         tlog = obs_timeline.get_event_log()
         accountant = obs_energy.EnergyAccountant()
         batch = engine.batch
+        # An injected clock may already carry earlier requests' time;
+        # deadline and sim_seconds are relative to this run's start.
+        run_start = clock.total_seconds
         if tlog.enabled:
             for cid in range(n_candidates):
-                tlog.emit("queue", 0.0, request_id=cid, wave=cid // batch)
+                tlog.emit("queue", run_start, request_id=cid,
+                          wave=cid // batch)
         wall = time.perf_counter()
         last_logits, prefill_cost = engine.prefill(prompt, seq=0)
         prefill_seconds = engine._step_seconds(prefill_cost,
@@ -578,7 +590,7 @@ class ContinuousBatchingScheduler:
                 elif len(candidate.tokens) >= candidate.budget:
                     retire(candidate, "length")
             if (deadline_seconds is not None
-                    and clock.total_seconds >= deadline_seconds):
+                    and clock.total_seconds - run_start >= deadline_seconds):
                 result.deadline_hit = True
                 admitting = False
                 if tlog.enabled:
@@ -595,7 +607,7 @@ class ContinuousBatchingScheduler:
         result.n_steps = step
         result.peak_kv_bytes = cache.pool.peak_bytes
         result.cow_copies = cache.pool.cow_copies
-        result.sim_seconds = clock.total_seconds
+        result.sim_seconds = clock.total_seconds - run_start
         result.joules = accountant.total_j
         result.prefill_joules = accountant.prefill_j
         result.idle_joules = accountant.idle_j

@@ -17,7 +17,7 @@ from ..errors import NPUError
 from .timing import NPUGenerationTiming
 
 __all__ = ["PowerGovernor", "GOVERNORS", "THROTTLE_LADDER", "apply_governor",
-           "downgrade"]
+           "downgrade", "ThermalState"]
 
 
 @dataclass(frozen=True)
@@ -70,6 +70,71 @@ def downgrade(governor: "PowerGovernor | str") -> PowerGovernor:
             f"unknown governor {name!r}; known: {sorted(GOVERNORS)}")
     rung = THROTTLE_LADDER.index(name)
     return GOVERNORS[THROTTLE_LADDER[min(rung + 1, len(THROTTLE_LADDER) - 1)]]
+
+
+class ThermalState:
+    """Per-device thermal governor state for sustained serving load.
+
+    A leaky-bucket skin-temperature proxy: dynamic energy dissipated
+    while serving accumulates as ``heat_joules``; idle time bleeds it
+    off at ``cool_watts``.  Crossing ``throttle_at_joules`` walks the
+    session one rung **down** :data:`THROTTLE_LADDER`; cooling below
+    ``recover_at_joules`` walks it back up.  The hysteresis gap between
+    the two thresholds prevents governor flapping at the boundary.
+    Deterministic: state is a pure function of the absorb/cool call
+    sequence.
+    """
+
+    def __init__(self, throttle_at_joules: float = 60.0,
+                 recover_at_joules: float = 30.0,
+                 cool_watts: float = 1.5) -> None:
+        if throttle_at_joules <= 0 or cool_watts <= 0:
+            raise NPUError(
+                f"thermal thresholds must be positive, got throttle_at="
+                f"{throttle_at_joules}, cool_watts={cool_watts}")
+        if not 0 <= recover_at_joules < throttle_at_joules:
+            raise NPUError(
+                f"recover_at_joules must sit below throttle_at_joules "
+                f"({recover_at_joules} vs {throttle_at_joules})")
+        self.throttle_at_joules = throttle_at_joules
+        self.recover_at_joules = recover_at_joules
+        self.cool_watts = cool_watts
+        self.heat_joules = 0.0
+        self.rung = 0
+        self.n_throttles = 0
+        self.n_recoveries = 0
+
+    @property
+    def governor(self) -> PowerGovernor:
+        return GOVERNORS[THROTTLE_LADDER[self.rung]]
+
+    def absorb(self, joules: float) -> PowerGovernor:
+        """Accumulate dissipated energy; may throttle.  Returns governor."""
+        if joules < 0:
+            raise NPUError(f"cannot absorb {joules} joules")
+        self.heat_joules += joules
+        # one rung per crossing — sustained load walks the ladder one
+        # thermal event at a time, mirroring downgrade()'s saturation
+        if (self.heat_joules >= self.throttle_at_joules
+                and self.rung < len(THROTTLE_LADDER) - 1):
+            self.rung += 1
+            self.n_throttles += 1
+            # re-arm inside the hysteresis band: the next rung needs
+            # fresh heat, recovery needs real cooling below recover_at
+            self.heat_joules = 0.5 * (self.recover_at_joules
+                                      + self.throttle_at_joules)
+        return self.governor
+
+    def cool(self, idle_seconds: float) -> PowerGovernor:
+        """Bleed heat during idle time; may recover a rung."""
+        if idle_seconds < 0:
+            raise NPUError(f"cannot cool for {idle_seconds} seconds")
+        self.heat_joules = max(
+            0.0, self.heat_joules - self.cool_watts * idle_seconds)
+        if self.heat_joules <= self.recover_at_joules and self.rung > 0:
+            self.rung -= 1
+            self.n_recoveries += 1
+        return self.governor
 
 
 def apply_governor(generation: NPUGenerationTiming,

@@ -271,23 +271,7 @@ class TimingModel:
         return flops / seconds / 1e9
 
 
-class SimClock:
-    """Accumulator for simulated seconds along one execution timeline.
-
-    Schedulers advance the clock once per step with the step's simulated
-    latency; ``total_seconds`` is then the makespan of the run on the
-    modelled device, independent of host wall clock.  Negative advances
-    are rejected — simulated time is monotone.
-    """
-
-    def __init__(self) -> None:
-        self.total_seconds = 0.0
-        self.n_advances = 0
-
-    def advance(self, seconds: float) -> float:
-        if seconds < 0:
-            raise NPUError(
-                f"cannot advance simulated time by {seconds} seconds")
-        self.total_seconds += seconds
-        self.n_advances += 1
-        return self.total_seconds
+# SimClock grew into the shared discrete-event kernel and now lives in
+# repro.sim; re-exported here because every timing consumer historically
+# imported it from this module.
+from ..sim import SimClock  # noqa: E402  (re-export)

@@ -348,6 +348,27 @@ def _bench_attention(ctx: BenchContext) -> BenchRecord:
     }, info={"n_q": n_q, "n_kv": n_kv, "head_dim": d, "method": "lut"})
 
 
+@bench_scenario("fleet.small",
+                "25-device fleet serving a seeded poisson trace "
+                "(capacity plan off)")
+def _bench_fleet(ctx: BenchContext) -> BenchRecord:
+    from ..fleet import run_fleet
+
+    report = run_fleet(25, 5.0, horizon_seconds=20.0, seed=ctx.seed,
+                       pattern="poisson", with_capacity_plan=False)
+    token = report.latency["token"]
+    return BenchRecord("fleet.small", metrics={
+        "sim_seconds": report.throughput["makespan_seconds"],
+        "tokens_per_second": report.throughput["tokens_per_second"],
+        "token_latency_p50_seconds": token["p50"],
+        "token_latency_p95_seconds": token["p95"],
+        "token_latency_p99_seconds": token["p99"],
+        "busy_fraction": report.throughput["busy_fraction"],
+    }, info={"devices": 25, "qps": 5.0, "horizon_seconds": 20.0,
+             "completed": report.requests["completed"],
+             "shed": report.requests["shed"]})
+
+
 # ----------------------------------------------------------------------
 # runner
 # ----------------------------------------------------------------------

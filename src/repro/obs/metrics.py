@@ -167,12 +167,25 @@ class Histogram:
         self.overflow = 0
 
     def observe(self, value: float) -> None:
+        self.observe_many(value, 1)
+
+    def observe_many(self, value: float, n: int) -> None:
+        """Record ``n`` identical observations in O(log buckets).
+
+        The fleet layer records one value per generated token; folding
+        a request's tokens in one call keeps million-token simulations
+        linear in *requests*, not tokens.
+        """
+        if n <= 0:
+            raise ObservabilityError(
+                f"histogram {self.name} needs a positive observation "
+                f"count, got {n}")
         index = bisect.bisect_left(self.buckets, value)
-        self.counts[index] += 1
+        self.counts[index] += n
         if index == len(self.buckets):
-            self.overflow += 1
-        self.count += 1
-        self.total += value
+            self.overflow += n
+        self.count += n
+        self.total += value * n
         self.min = min(self.min, value)
         self.max = max(self.max, value)
 
@@ -183,29 +196,44 @@ class Histogram:
     def merge(self, other: "Histogram") -> "Histogram":
         """Fold ``other``'s observations into this histogram, in place.
 
-        The bucket bounds must match exactly (merging across different
-        resolutions would silently degrade quantile accuracy).  Merging
-        an empty histogram is a no-op; names and labels may differ —
-        this is the cross-window aggregation primitive of
-        :class:`~repro.obs.stream.MetricStream`.  Returns ``self`` so
-        merges chain like :meth:`~repro.npu.timing.KernelCost.merge`.
+        Identical bucket bounds fold count-for-count.  Differing bounds
+        — per-device SLO trackers use resolution matched to the device
+        generation (:func:`~repro.obs.slo.hdr_buckets` bit widths) —
+        re-bucket each of ``other``'s buckets by its **upper bound**
+        into this histogram: finer-resolution observations land exactly
+        when the coarse bounds are a subset of the fine bounds (the
+        hdr_buckets family over a shared range), and conservatively (at
+        most one bucket high) otherwise.  ``other``'s overflow bucket
+        merges by its +inf bound, so overflow counts are preserved, not
+        dropped.  Merging an empty histogram is a no-op; names and
+        labels may differ — this is the cross-window and cross-device
+        aggregation primitive of :class:`~repro.obs.stream.MetricStream`
+        and the fleet layer.  Returns ``self`` so merges chain like
+        :meth:`~repro.npu.timing.KernelCost.merge`.
         """
         if not isinstance(other, Histogram):
             raise ObservabilityError(
                 f"cannot merge {type(other).__name__} into histogram "
                 f"{self.name}")
-        if other.buckets != self.buckets:
-            raise ObservabilityError(
-                f"cannot merge histogram {other.name} into {self.name}: "
-                f"bucket bounds differ ({len(other.buckets)} vs "
-                f"{len(self.buckets)} bounds)")
-        for i, n in enumerate(other.counts):
-            self.counts[i] += n
+        if other.buckets == self.buckets:
+            for i, n in enumerate(other.counts):
+                self.counts[i] += n
+            self.overflow += other.overflow
+        else:
+            overflow_index = len(self.buckets)
+            for i, n in enumerate(other.counts):
+                if n == 0:
+                    continue
+                bound = (other.buckets[i] if i < len(other.buckets)
+                         else math.inf)
+                index = bisect.bisect_left(self.buckets, bound)
+                self.counts[index] += n
+                if index == overflow_index:
+                    self.overflow += n
         self.count += other.count
         self.total += other.total
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
-        self.overflow += other.overflow
         return self
 
     def quantile(self, q: float) -> float:

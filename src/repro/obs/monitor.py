@@ -213,6 +213,9 @@ def _window_rows(stream: MetricStream) -> List[Dict[str, Any]]:
             "evictions": window.value("evictions"),
             "rebuilds": window.value("rebuilds"),
             "completions": window.value("completions"),
+            "sheds": window.value("sheds"),
+            "dispatches": window.value("dispatches"),
+            "queue_wait_p95": window.value("queue_wait_seconds", "p95"),
             "governor_level": window.value("governor_level"),
             "kv_blocks": window.value("kv_blocks"),
             "live_batch": window.value("live_batch"),

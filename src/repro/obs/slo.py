@@ -32,7 +32,8 @@ from typing import Any, Dict, List, Optional, Union
 from ..errors import ObservabilityError
 from .metrics import Histogram, MetricsRegistry, get_metrics
 
-__all__ = ["hdr_buckets", "SLOTracker", "slo_summary", "SLO_PERCENTILES"]
+__all__ = ["hdr_buckets", "SLOTracker", "slo_summary", "SLO_PERCENTILES",
+           "histogram_summary"]
 
 SLO_PERCENTILES = (50.0, 95.0, 99.0)
 
@@ -138,6 +139,30 @@ class SLOTracker:
     def summary(self) -> Dict[str, Dict[str, float]]:
         """Percentile summary of every SLO instrument recorded so far."""
         return slo_summary(self._registry)
+
+
+def histogram_summary(hist: Histogram) -> Dict[str, float]:
+    """The canonical SLO percentile summary of one histogram.
+
+    The same shape :func:`slo_summary` extracts from a registry
+    snapshot, plus ``overflow`` — callers aggregating per-device
+    histograms (the fleet layer) need saturation to stay visible after
+    a mixed-resolution :meth:`~repro.obs.metrics.Histogram.merge`.
+    Empty histograms summarize to zeros rather than raising, so report
+    shapes stay total.
+    """
+    if hist.count == 0:
+        return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                "p99": 0.0, "max": 0.0, "overflow": 0.0}
+    return {
+        "count": float(hist.count),
+        "mean": hist.mean,
+        "p50": hist.percentile(50.0),
+        "p95": hist.percentile(95.0),
+        "p99": hist.percentile(99.0),
+        "max": hist.max,
+        "overflow": float(hist.overflow),
+    }
 
 
 def slo_summary(source: Union[MetricsRegistry, Dict[str, Dict[str, Any]]]

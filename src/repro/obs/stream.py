@@ -240,7 +240,10 @@ def stream_from_log(log: EventLog,
       ``evictions`` / ``rebuilds``;
     * ``complete`` -> counter ``completions``; sample
       ``candidate_latency_seconds`` when the event carries
-      ``latency_seconds``.
+      ``latency_seconds``;
+    * ``shed`` -> counter ``sheds`` (fleet admission control dropped
+      the request); ``dispatch`` -> counter ``dispatches`` plus sample
+      ``queue_wait_seconds`` when the event carries ``wait_seconds``.
     """
     stream = MetricStream(window_seconds=window_seconds,
                           sample_buckets=sample_buckets)
@@ -293,4 +296,11 @@ def stream_from_log(log: EventLog,
             if latency is not None:
                 stream.record_sample("candidate_latency_seconds", t,
                                      float(latency))
+        elif event.kind == "shed":
+            stream.record_counter("sheds", t)
+        elif event.kind == "dispatch":
+            stream.record_counter("dispatches", t)
+            wait = attrs.get("wait_seconds")
+            if wait is not None:
+                stream.record_sample("queue_wait_seconds", t, float(wait))
     return stream

@@ -43,7 +43,10 @@ __all__ = [
 #: pending set; ``admit``/``wave_assign`` its scheduling decision;
 #: ``prefill``/``decode_step`` forward progress; ``fault``/``retry``/
 #: ``rebuild``/``evict``/``throttle``/``deadline`` the resilience path;
-#: ``complete`` retirement (with its finish reason).
+#: ``complete`` retirement (with its finish reason).  The fleet layer
+#: adds ``shed`` (admission control dropped the request on a full
+#: queue) and ``dispatch`` (a queued request started service on a
+#: device, with its queue wait).
 EVENT_KINDS = (
     "queue",
     "admit",
@@ -57,6 +60,8 @@ EVENT_KINDS = (
     "throttle",
     "deadline",
     "complete",
+    "shed",
+    "dispatch",
 )
 
 _KIND_SET = frozenset(EVENT_KINDS)

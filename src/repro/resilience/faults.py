@@ -349,9 +349,12 @@ class FaultInjector:
                 event.at, []).append(event)
         self._counters: Dict[str, int] = {}
         self.injected: List[FaultRecord] = []
-        #: Optional SimClock the owning run charges recovery time to;
-        #: when set, fired faults also land on the structured event log
-        #: (:mod:`repro.obs.timeline`) with their simulated timestamp.
+        #: Optional :class:`~repro.sim.SimClock` the owning run charges
+        #: recovery time to; when set, fired faults also land on the
+        #: structured event log (:mod:`repro.obs.timeline`) with their
+        #: simulated timestamp.  Under the fleet layer this is the
+        #: device-local clock of the shared event-loop kernel, so fault
+        #: timestamps line up with the fleet timeline.
         self.clock = None
 
     # ------------------------------------------------------------------

@@ -6,7 +6,7 @@ Three layers consume this module:
   :class:`~repro.npu.soc.FastRPCSession`: transient faults (DMA
   timeouts) retry after capped exponential backoff; a session abort
   additionally reopens the session before retrying.  Backoff is charged
-  to a :class:`~repro.npu.timing.SimClock`, never to the host clock, so
+  to a :class:`~repro.sim.SimClock`, never to the host clock, so
   recovery timing is deterministic and visible in the simulated
   makespan.
 * the continuous-batching scheduler uses :class:`RetryPolicy` directly
@@ -34,7 +34,7 @@ from ..errors import (
     TransientFaultError,
 )
 from ..npu.power_mgmt import GOVERNORS
-from ..npu.timing import SimClock
+from ..sim import SimClock
 from ..obs import metrics as obs_metrics
 from ..obs import timeline as obs_timeline
 from ..obs import trace as obs_trace

@@ -202,6 +202,19 @@ def _speculative_greedy() -> Dict:
 
 
 # ----------------------------------------------------------------------
+# cases: fleet serving
+# ----------------------------------------------------------------------
+@_register("fleet.capacity", "json",
+           "100-device diurnal serving window with the capacity plan")
+def _fleet_capacity() -> Dict:
+    from ..fleet import run_fleet
+
+    report = run_fleet(100, 10.0, horizon_seconds=30.0, seed=2026,
+                       pattern="diurnal")
+    return report.to_json()
+
+
+# ----------------------------------------------------------------------
 # cases: on-disk format conformance
 # ----------------------------------------------------------------------
 @_register("checkpoint_q4_format", "json",

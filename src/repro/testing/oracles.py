@@ -766,3 +766,77 @@ class CheckpointOracle(Oracle):
             return self.failed(config, "tokens",
                                f"round-trip decode: {token_diff}")
         return self.passed(config)
+
+
+@register_oracle
+class FleetOracle(Oracle):
+    """Fleet simulation replay: two runs of one config, byte-identical.
+
+    The PR-7 guarantee: the ``repro.fleet/v1`` report is a pure
+    function of its configuration — same trace seed, same population,
+    same admission bound reproduce the serialized report bytewise —
+    and the frontend conserves requests
+    (``offered == completed + shed + unserved``).  The capacity plan is
+    left off so a shrunk repro stays one simulation, not a search.
+    """
+
+    name = "fleet"
+    description = ("fleet serving simulation, run twice: byte-identical "
+                   "repro.fleet/v1 JSON + request conservation")
+    SHRINK_MINS = {"devices": 1, "qps": 1, "horizon_ds": 1,
+                   "queue_depth": 1, "seed": 0}
+    SHRINK_RESETS = {"pattern": "poisson"}
+
+    def sample_config(self, rng: np.random.Generator) -> Config:
+        return {
+            "devices": int(rng.integers(1, 41)),
+            "qps": int(rng.integers(1, 25)),
+            "horizon_ds": int(rng.integers(1, 201)),  # deciseconds
+            "queue_depth": int(rng.integers(1, 33)),
+            "pattern": ("poisson", "diurnal")[int(rng.integers(2))],
+            "seed": int(rng.integers(0, 2**31)),
+        }
+
+    def _report(self, config: Config):
+        from ..fleet import run_fleet
+
+        return run_fleet(
+            int(config["devices"]), float(config["qps"]),
+            horizon_seconds=int(config["horizon_ds"]) / 10.0,
+            seed=int(config["seed"]), pattern=str(config["pattern"]),
+            queue_depth=int(config["queue_depth"]),
+            with_capacity_plan=False)
+
+    def run(self, config: Config) -> OracleResult:
+        self._check_config(config)
+        first = self._report(config)
+        second = self._report(config)
+        text_a, text_b = first.to_json_text(), second.to_json_text()
+        if text_a != text_b:
+            for line_a, line_b in zip(text_a.splitlines(),
+                                      text_b.splitlines()):
+                if line_a != line_b:
+                    return self.failed(
+                        config, "state",
+                        f"replay diverged: {line_a!r} vs {line_b!r}")
+            return self.failed(config, "state",
+                               "replay diverged in length only")
+        requests = first.requests
+        served = (requests["completed"] + requests["shed"]
+                  + requests["unserved"])
+        if requests["offered"] != served:
+            return self.failed(
+                config, "state",
+                f"request conservation violated: offered "
+                f"{requests['offered']} != completed+shed+unserved "
+                f"{served}")
+        token = first.latency["token"]
+        if token["count"] and token["p99"] < token["p50"]:
+            return self.failed(
+                config, "state",
+                f"token latency percentiles inverted: p99 {token['p99']} "
+                f"< p50 {token['p50']}")
+        return self.passed(config,
+                           n_offered=float(requests["offered"]),
+                           n_completed=float(requests["completed"]),
+                           n_shed=float(requests["shed"]))

@@ -1,0 +1,127 @@
+"""Differential: a one-device fleet equals driving the scheduler directly.
+
+The shared-kernel extraction moved :class:`~repro.sim.SimClock` out of
+the scheduler and taught ``generate`` to run on an injected clock; an
+:class:`~repro.fleet.EngineFleetDevice` serves every fleet request
+through exactly that path on its device-local clock.  If the extraction
+and the fleet plumbing are no-ops, a single-device fleet processing one
+Best-of-N request must be *bitwise* identical — token sequences,
+simulated seconds, fault/retry/eviction counters, step costs — to
+calling :meth:`ContinuousBatchingScheduler.generate` with no fleet
+layer at all.
+"""
+
+import pytest
+
+from repro.fleet import (AdmissionController, EngineFleetDevice,
+                         FleetRequest, FleetSimulation)
+from repro.llm import ContinuousBatchingScheduler, InferenceEngine, Sampler
+from repro.npu import DEVICES
+from repro.resilience import FaultPlan
+
+PROMPT = [3, 1, 4, 1, 5, 9, 2, 6]
+
+
+def _scheduler(tiny_model):
+    engine = InferenceEngine(tiny_model, batch=4, max_context=48,
+                             kv_backend="paged",
+                             device=DEVICES["oneplus_12"])
+    return ContinuousBatchingScheduler(engine)
+
+
+def _direct_run(tiny_model, fault_spec=""):
+    plan = FaultPlan.parse(fault_spec) if fault_spec else None
+    return _scheduler(tiny_model).generate(
+        PROMPT, n_candidates=6, max_new_tokens=10,
+        sampler=Sampler(temperature=0.8, seed=11), fault_plan=plan)
+
+
+def _fleet_run(tiny_model, fault_spec=""):
+    device = EngineFleetDevice(
+        device_id=0, scheduler=_scheduler(tiny_model),
+        device=DEVICES["oneplus_12"],
+        sampler_factory=lambda req: Sampler(temperature=0.8, seed=11))
+    request = FleetRequest(request_id=0, arrival_seconds=0.0,
+                           prompt=tuple(PROMPT), prompt_tokens=len(PROMPT),
+                           n_candidates=6, max_new_tokens=10,
+                           fault_spec=fault_spec)
+    simulation = FleetSimulation([device], [request],
+                                 admission=AdmissionController())
+    result = simulation.run()
+    assert result.n_completed == 1 and result.n_shed == 0
+    return result, device
+
+
+@pytest.mark.parametrize("fault_spec", [
+    "",
+    "abort@2,alloc@4,throttle@1:efficiency:3",
+])
+def test_single_device_fleet_bitwise_equals_scheduler(tiny_model,
+                                                      fault_spec):
+    baseline = _direct_run(tiny_model, fault_spec)
+    fleet_result, device = _fleet_run(tiny_model, fault_spec)
+    assert device.n_served == 1
+    assert fleet_result.devices[0] is device
+    assert fleet_result.tokens == baseline.total_generated_tokens
+    assert fleet_result.n_faults == baseline.n_faults
+    assert fleet_result.n_retries == baseline.n_retries
+    assert device.joules == baseline.joules
+
+
+@pytest.mark.parametrize("fault_spec", [
+    "",
+    "abort@2,alloc@4,throttle@1:efficiency:3",
+])
+def test_single_request_outcome_bitwise(tiny_model, fault_spec):
+    """The retained ScheduledGeneration equals the direct run field by
+    field — sequences, clock, costs, resilience counters."""
+    baseline = _direct_run(tiny_model, fault_spec)
+
+    device = EngineFleetDevice(
+        device_id=0, scheduler=_scheduler(tiny_model),
+        device=DEVICES["oneplus_12"],
+        sampler_factory=lambda req: Sampler(temperature=0.8, seed=11))
+    request = FleetRequest(request_id=0, arrival_seconds=0.0,
+                           prompt=tuple(PROMPT), prompt_tokens=len(PROMPT),
+                           n_candidates=6, max_new_tokens=10,
+                           fault_spec=fault_spec)
+    outcome = device.serve(request, 0.0)
+    candidate = outcome.result
+
+    assert candidate.sequences == baseline.sequences
+    assert candidate.sim_seconds == baseline.sim_seconds
+    assert candidate.decode_costs == baseline.decode_costs
+    assert candidate.live_batch_per_step == baseline.live_batch_per_step
+    assert candidate.n_steps == baseline.n_steps
+    assert candidate.n_faults == baseline.n_faults
+    assert candidate.n_retries == baseline.n_retries
+    assert candidate.n_evictions == baseline.n_evictions
+    assert candidate.n_rebuilds == baseline.n_rebuilds
+    assert candidate.joules == baseline.joules
+    assert outcome.service_seconds == baseline.sim_seconds
+
+
+def test_second_request_still_matches_fresh_scheduler(tiny_model):
+    """The device-local clock accumulates across requests, but the
+    run-start-relative accounting keeps every run comparable to a
+    fresh-clock baseline."""
+    baseline = _direct_run(tiny_model)
+
+    device = EngineFleetDevice(
+        device_id=0, scheduler=_scheduler(tiny_model),
+        device=DEVICES["oneplus_12"],
+        sampler_factory=lambda req: Sampler(temperature=0.8, seed=11))
+    for request_id in range(2):
+        request = FleetRequest(request_id=request_id,
+                               arrival_seconds=float(request_id),
+                               prompt=tuple(PROMPT),
+                               prompt_tokens=len(PROMPT),
+                               n_candidates=6, max_new_tokens=10)
+        outcome = device.serve(request, float(request_id))
+    assert device.clock.total_seconds == pytest.approx(
+        2 * baseline.sim_seconds)
+    assert outcome.result.sequences == baseline.sequences
+    # (clock_end - run_start) on a non-zero clock rounds in the last
+    # ulp, so the second run is equal to ~1e-16 relative, not bitwise
+    assert outcome.result.sim_seconds == pytest.approx(
+        baseline.sim_seconds, rel=1e-12)

@@ -210,3 +210,99 @@ class TestGlobalDefault:
             assert snap["repro.test.h"]["count"] == 1
         finally:
             obs_metrics.set_metrics(previous)
+
+
+class TestHistogramObserveMany:
+    def test_weighted_observation_equals_repeats(self):
+        a = Histogram("repro.test.many_a", buckets=[1.0, 2.0, 4.0])
+        b = Histogram("repro.test.many_b", buckets=[1.0, 2.0, 4.0])
+        for _ in range(5):
+            a.observe(1.5)
+        b.observe_many(1.5, 5)
+        assert a.snapshot() == b.snapshot()
+
+    def test_rejects_non_positive_count(self):
+        h = Histogram("repro.test.many", buckets=[1.0])
+        with pytest.raises(ObservabilityError):
+            h.observe_many(0.5, 0)
+        with pytest.raises(ObservabilityError):
+            h.observe_many(0.5, -3)
+
+
+class TestHistogramMerge:
+    def test_same_buckets_merge_exact(self):
+        a = Histogram("repro.test.ma", buckets=[1.0, 2.0, 4.0])
+        b = Histogram("repro.test.mb", buckets=[1.0, 2.0, 4.0])
+        for v in (0.5, 1.5, 3.0):
+            a.observe(v)
+        for v in (1.7, 9.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.overflow == 1
+        assert a.total == pytest.approx(0.5 + 1.5 + 3.0 + 1.7 + 9.0)
+        assert a.max == 9.0
+
+    def test_mixed_resolution_hdr_merge_is_exact(self):
+        """Fine-resolution HDR buckets re-bucket exactly into coarse
+        ones over the same range (subset-aligned bounds): counts,
+        quantile estimates, overflow all survive the merge."""
+        from repro.obs.slo import hdr_buckets
+
+        lo, hi = 1e-4, 134.0
+        coarse = Histogram("repro.test.coarse",
+                           buckets=hdr_buckets(lo, hi, precision_bits=1))
+        fine = Histogram("repro.test.fine",
+                         buckets=hdr_buckets(lo, hi, precision_bits=3))
+        reference = Histogram("repro.test.ref",
+                              buckets=hdr_buckets(lo, hi, precision_bits=1))
+        values = [2e-4, 1e-3, 7e-3, 0.04, 0.041, 1.9, 133.0, 500.0, 900.0]
+        for v in values:
+            fine.observe(v)
+            reference.observe(v)
+        coarse.merge(fine)
+        assert coarse.counts == reference.counts
+        assert coarse.overflow == reference.overflow == 2
+        assert coarse.count == len(values)
+        assert coarse.total == pytest.approx(sum(values))
+        assert coarse.min == reference.min
+        assert coarse.max == reference.max
+        for q in (0.5, 0.95, 0.99):
+            assert coarse.quantile(q) == reference.quantile(q)
+
+    def test_merge_preserves_other_overflow(self):
+        wide = Histogram("repro.test.wide", buckets=[1.0, 1000.0])
+        narrow = Histogram("repro.test.narrow", buckets=[1.0, 2.0])
+        narrow.observe(500.0)   # overflow for narrow, in-range for wide
+        assert narrow.overflow == 1
+        wide.merge(narrow)
+        # the overflowed sample's value is unknown beyond "> 2.0", so it
+        # must stay counted past narrow's last bound, never dropped
+        assert wide.count == 1
+        assert wide.counts[1] + wide.overflow == 1
+        assert wide.counts[0] == 0
+
+    def test_merge_rejects_non_histogram(self):
+        h = Histogram("repro.test.h", buckets=[1.0])
+        with pytest.raises(ObservabilityError):
+            h.merge(Counter("repro.test.c"))
+
+    def test_generation_bit_widths_all_merge_exact(self):
+        """The fleet's per-generation resolutions (1/2/3 bits) all fold
+        into the 2-bit fleet aggregate without losing a sample."""
+        from repro.obs.slo import hdr_buckets
+
+        lo, hi = 1e-4, 134.0
+        values = [3e-4, 2e-3, 0.015, 0.11, 0.9, 7.0, 55.0, 900.0]
+        fleet = Histogram("repro.test.fleet",
+                          buckets=hdr_buckets(lo, hi, precision_bits=2))
+        for bits in (1, 2, 3):
+            device = Histogram(f"repro.test.dev{bits}",
+                               buckets=hdr_buckets(lo, hi,
+                                                   precision_bits=bits))
+            for v in values:
+                device.observe(v)
+            fleet.merge(device)
+        assert fleet.count == 3 * len(values)
+        assert fleet.overflow == 3
+        assert fleet.total == pytest.approx(3 * sum(values))
