@@ -207,6 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="model key served by every device")
     fleet.add_argument("--no-capacity-plan", action="store_true",
                        help="skip the devices-per-QPS capacity search")
+    fleet.add_argument("--faults", default="", metavar="SPEC",
+                       help="fleet fault plan, e.g. "
+                            "'dev#0:crash@2:5,dev#1:straggle@1:3:10,"
+                            "dev#2:drop@4,dev#3:battery@6'; adds a chaos "
+                            "section to the report")
+    fleet.add_argument("--hedge", action="store_true",
+                       help="hedge the p99 queue-wait tail onto a second "
+                            "device (first completion wins)")
     fleet.add_argument("--json", default=None, metavar="PATH",
                        dest="json_out",
                        help="write the repro.fleet/v1 report JSON to PATH "
@@ -633,8 +641,8 @@ def _cmd_monitor(scenario: str, device: str, seed: int, windows: int,
 def _cmd_fleet(devices: int, qps: float, horizon_seconds: float,
                max_requests: Optional[int], seed: int, pattern: str,
                p99_target_ms: float, queue_depth: int, model: str,
-               no_capacity_plan: bool, json_out: Optional[str],
-               out) -> int:
+               no_capacity_plan: bool, faults: str, hedge: bool,
+               json_out: Optional[str], out) -> int:
     from .errors import ReproError
     from .fleet import run_fleet
 
@@ -643,7 +651,8 @@ def _cmd_fleet(devices: int, qps: float, horizon_seconds: float,
             devices, qps, horizon_seconds=horizon_seconds,
             max_requests=max_requests, seed=seed, pattern=pattern,
             queue_depth=queue_depth, p99_target_ms=p99_target_ms,
-            model_name=model, with_capacity_plan=not no_capacity_plan)
+            model_name=model, with_capacity_plan=not no_capacity_plan,
+            fault_spec=faults, hedge=hedge)
     except ReproError as error:
         out.write(f"error: {error}\n")
         return 2
@@ -743,7 +752,8 @@ def _dispatch(args, out) -> int:
         return _cmd_fleet(args.devices, args.qps, args.horizon_seconds,
                           args.requests, args.seed, args.pattern,
                           args.p99_target_ms, args.queue_depth, args.model,
-                          args.no_capacity_plan, args.json_out, out)
+                          args.no_capacity_plan, args.faults, args.hedge,
+                          args.json_out, out)
     if args.command == "fuzz":
         return _cmd_fuzz(args.trials, args.seed, args.oracle, args.replay,
                          not args.no_shrink, args.list_oracles, out)

@@ -12,6 +12,8 @@ from ..sim import EventHandle, EventLoop, SimClock
 from .devices import (AnalyticFleetDevice, BatteryRail, EngineFleetDevice,
                       FleetDevice, GENERATION_HDR_BITS, ServiceOutcome,
                       build_population)
+from .health import (CircuitBreaker, DeviceHealth, FailoverPolicy,
+                     FleetHealth, HedgePolicy)
 from .load import ARRIVAL_PATTERNS, TraceConfig, generate_trace
 from .report import (DEFAULT_P99_TARGET_MS, FLEET_SCHEMA, FleetReport,
                      MAX_PLANNED_DEVICES, plan_capacity, run_fleet)
@@ -26,6 +28,8 @@ __all__ = [
     "FleetDevice", "AnalyticFleetDevice", "EngineFleetDevice",
     "BatteryRail", "ServiceOutcome", "build_population",
     "GENERATION_HDR_BITS",
+    "CircuitBreaker", "DeviceHealth", "FailoverPolicy", "FleetHealth",
+    "HedgePolicy",
     "FleetSimulation", "FleetResult",
     "FleetReport", "run_fleet", "plan_capacity", "FLEET_SCHEMA",
     "DEFAULT_P99_TARGET_MS", "MAX_PLANNED_DEVICES",

@@ -132,10 +132,19 @@ class BatteryRail:
                 f"{self.capacity_joules}")
 
     def draw(self, joules: float) -> None:
+        """Drain ``joules``; the rail clamps empty rather than going
+        negative.  Negative draws are a caller bug, not a charge path —
+        rejected with :class:`ValueError`."""
         if joules < 0:
-            raise FleetError(f"cannot draw {joules} joules")
+            raise ValueError(
+                f"cannot draw {joules} joules from a battery rail; "
+                f"draws must be >= 0")
         self.drained_joules = min(self.capacity_joules,
                                   self.drained_joules + joules)
+
+    def deplete(self) -> None:
+        """Pull the rail straight to empty (the ``battery@T`` fault)."""
+        self.drained_joules = self.capacity_joules
 
     @property
     def depleted(self) -> bool:
@@ -143,7 +152,7 @@ class BatteryRail:
 
     @property
     def remaining_fraction(self) -> float:
-        return 1.0 - self.drained_joules / self.capacity_joules
+        return max(0.0, 1.0 - self.drained_joules / self.capacity_joules)
 
 
 @dataclass
@@ -192,15 +201,26 @@ class FleetDevice:
         return not self.busy and not self.battery.depleted
 
     # ------------------------------------------------------------------
-    def serve(self, request: FleetRequest,
-              start_seconds: float) -> ServiceOutcome:
+    def serve(self, request: FleetRequest, start_seconds: float,
+              service_multiplier: float = 1.0) -> ServiceOutcome:
         """Price the request and commit its thermal/battery effects.
 
         Called at dispatch time; the simulation schedules the completion
         event ``service_seconds`` later on the shared loop.
+        ``service_multiplier`` stretches the priced service time (and
+        the energy burned at the same power) — the ``straggle`` fault's
+        hook; at its default of 1.0 the arithmetic is untouched, so
+        fault-free runs stay bitwise-identical.
         """
+        if service_multiplier <= 0:
+            raise FleetError(
+                f"service multiplier must be positive, got "
+                f"{service_multiplier}")
         self.thermal.cool(max(0.0, start_seconds - self.idle_since))
         outcome = self._service(request)
+        if service_multiplier != 1.0:
+            outcome.service_seconds *= service_multiplier
+            outcome.joules *= service_multiplier
         self.busy = True
         self.n_served += 1
         self.tokens_generated += outcome.tokens
@@ -226,6 +246,20 @@ class FleetDevice:
                          / max(1, outcome.tokens))
         self.histogram.observe_many(token_latency, max(1, outcome.tokens))
         return token_latency
+
+    def release(self, release_seconds: float,
+                unused_seconds: float = 0.0) -> None:
+        """Free the device without recording a completion.
+
+        The cancellation path: a crashed/dropped dispatch or a hedge
+        loser never completes, so its unfired tail (``unused_seconds``)
+        is refunded from ``busy_seconds`` to keep utilization honest.
+        Latency histograms record nothing — the request's outcome is
+        accounted where it actually terminates.
+        """
+        self.busy = False
+        self.idle_since = release_seconds
+        self.busy_seconds -= max(0.0, unused_seconds)
 
     def _service(self, request: FleetRequest) -> ServiceOutcome:
         raise NotImplementedError

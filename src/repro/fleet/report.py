@@ -23,7 +23,9 @@ from typing import Any, Dict, List, Optional
 
 from ..errors import FleetError
 from ..obs.slo import histogram_summary
+from ..resilience.faults import FaultPlan
 from .devices import build_population
+from .health import FailoverPolicy, HedgePolicy
 from .load import ARRIVAL_PATTERNS, TraceConfig, generate_trace
 from .requests import AdmissionController
 from .simulation import FleetResult, FleetSimulation
@@ -59,12 +61,16 @@ class FleetReport:
     energy: Dict[str, Any]
     thermal: Dict[str, Any]
     capacity: Dict[str, Any]
+    #: Chaos/recovery section; present only when a fault plan or
+    #: hedging was armed, so fault-free reports stay byte-identical to
+    #: the pre-chaos schema.
+    chaos: Optional[Dict[str, Any]] = None
     schema: str = FLEET_SCHEMA
     #: The raw result, for tests and trace export; never serialized.
     result: Optional[FleetResult] = field(default=None, repr=False)
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        out = {
             "schema": self.schema,
             "config": self.config,
             "population": self.population,
@@ -75,6 +81,9 @@ class FleetReport:
             "thermal": self.thermal,
             "capacity": self.capacity,
         }
+        if self.chaos is not None:
+            out["chaos"] = self.chaos
+        return out
 
     def to_json_text(self) -> str:
         """Canonical serialization (sorted keys) for byte-wise diffing."""
@@ -117,6 +126,35 @@ class FleetReport:
         lines.append(f"thermal            "
                      f"{self.thermal['throttle_events']} throttle events "
                      f"across {self.thermal['devices_throttled']} devices")
+        if self.chaos is not None:
+            faults = self.chaos["faults"]
+            recovery = self.chaos["recovery"]
+            ledger = self.chaos["conservation"]
+            lines.append("")
+            spec = self.chaos["fault_spec"] or "(none)"
+            lines.append(f"== chaos: {spec} "
+                         f"(hedge {'on' if self.chaos['hedge'] else 'off'})"
+                         f" ==")
+            lines.append(f"faults             "
+                         f"{faults['fleet_events']} fleet events: "
+                         f"{faults['crashes']} crashes "
+                         f"({faults['reboots']} reboots) / "
+                         f"{faults['straggles']} straggles / "
+                         f"{faults['drops']} drops / "
+                         f"{faults['battery_drains']} battery drains")
+            lines.append(f"recovery           "
+                         f"{recovery['failovers']} failovers "
+                         f"({recovery['failed_permanently']} exhausted) / "
+                         f"{recovery['hedges']} hedges "
+                         f"({recovery['hedge_cancelled']} cancelled) / "
+                         f"breakers {recovery['breaker_opens']} opened, "
+                         f"{recovery['breaker_closes']} closed")
+            lines.append(f"conservation       "
+                         f"{ledger['offered']} offered = "
+                         f"{ledger['completed']} completed + "
+                         f"{ledger['shed']} shed + "
+                         f"{ledger['failed_permanently']} failed + "
+                         f"{ledger['unserved']} unserved")
         lines.append("")
         lines.append(f"== capacity @ p99 token latency <= "
                      f"{self.capacity['p99_target_ms']:g} ms ==")
@@ -149,14 +187,20 @@ def _trace_config(qps: float, horizon_seconds: Optional[float],
 
 def _simulate(n_devices: int, trace: TraceConfig,
               queue_depth: int, model_name: str,
-              battery_capacity_joules: float) -> FleetResult:
+              battery_capacity_joules: float,
+              fault_plan: Optional[FaultPlan] = None,
+              hedge: bool = False) -> FleetResult:
     requests = generate_trace(trace)
     population = build_population(
         n_devices, model_name=model_name,
         battery_capacity_joules=battery_capacity_joules)
     simulation = FleetSimulation(
         population, requests,
-        admission=AdmissionController(max_queue_depth=queue_depth))
+        admission=AdmissionController(max_queue_depth=queue_depth),
+        fault_plan=fault_plan,
+        failover=FailoverPolicy(seed=trace.seed),
+        hedge=HedgePolicy() if hedge else None,
+        seed=trace.seed)
     return simulation.run()
 
 
@@ -212,15 +256,26 @@ def run_fleet(n_devices: int, qps: float,
               p99_target_ms: float = DEFAULT_P99_TARGET_MS,
               model_name: str = "qwen2.5-1.5b",
               battery_capacity_joules: float = 6.9e4,
-              with_capacity_plan: bool = True) -> FleetReport:
-    """Simulate one serving window and fold it into a report."""
+              with_capacity_plan: bool = True,
+              fault_spec: str = "",
+              hedge: bool = False) -> FleetReport:
+    """Simulate one serving window and fold it into a report.
+
+    ``fault_spec`` arms a :class:`FaultPlan` of ``dev#K:...`` fleet
+    fault events on the simulation's event loop; ``hedge`` turns on
+    p99-tail hedged dispatch.  Either adds a ``chaos`` section to the
+    report; with both at their defaults the report is byte-identical
+    to the pre-chaos schema (capacity probes always run fault-free).
+    """
     if pattern not in ARRIVAL_PATTERNS:
         raise FleetError(
             f"unknown arrival pattern {pattern!r}; known: "
             f"{ARRIVAL_PATTERNS}")
+    fault_plan = FaultPlan.parse(fault_spec) if fault_spec else None
     trace = _trace_config(qps, horizon_seconds, max_requests, seed, pattern)
     result = _simulate(n_devices, trace, queue_depth, model_name,
-                       battery_capacity_joules)
+                       battery_capacity_joules, fault_plan=fault_plan,
+                       hedge=hedge)
 
     by_generation: Dict[str, int] = {}
     for device in result.devices:
@@ -241,6 +296,30 @@ def run_fleet(n_devices: int, qps: float,
             points.append({"qps": point_qps, "devices_needed": needed})
             if factor == 1.0:
                 devices_needed = needed
+
+    chaos: Optional[Dict[str, Any]] = None
+    if fault_plan is not None or hedge:
+        chaos = {
+            "fault_spec": fault_spec,
+            "hedge": hedge,
+            "faults": {
+                "fleet_events": result.n_fleet_faults,
+                "crashes": result.n_crashes,
+                "reboots": result.n_reboots,
+                "straggles": result.n_straggles,
+                "drops": result.n_drops,
+                "battery_drains": result.n_battery_faults,
+            },
+            "recovery": {
+                "failovers": result.n_failovers,
+                "failed_permanently": result.n_failed,
+                "hedges": result.n_hedges,
+                "hedge_cancelled": result.n_hedge_cancelled,
+                "breaker_opens": result.n_breaker_opens,
+                "breaker_closes": result.n_breaker_closes,
+            },
+            "conservation": result.conservation(),
+        }
 
     makespan = result.makespan_seconds
     return FleetReport(
@@ -302,4 +381,5 @@ def run_fleet(n_devices: int, qps: float,
             "points": points,
             "devices_needed": devices_needed,
         },
+        chaos=chaos,
         result=result)

@@ -369,6 +369,42 @@ def _bench_fleet(ctx: BenchContext) -> BenchRecord:
              "shed": report.requests["shed"]})
 
 
+_CHAOS_FAULT_SPEC = ("dev#0:crash@3:6,dev#1:straggle@2:3:10,"
+                     "dev#2:drop@5,dev#3:battery@8,dev#4:crash@12")
+
+
+@bench_scenario("fleet.chaos",
+                "8-device saturated fleet under a fixed fault schedule "
+                "with failover and hedging armed")
+def _bench_fleet_chaos(ctx: BenchContext) -> BenchRecord:
+    from ..fleet import run_fleet
+
+    # saturated on purpose: the queue must back up for crashes to catch
+    # dispatches in flight and for the p99 wait tail to trigger hedges
+    report = run_fleet(8, 10.0, horizon_seconds=20.0, seed=ctx.seed,
+                       pattern="poisson", with_capacity_plan=False,
+                       fault_spec=_CHAOS_FAULT_SPEC, hedge=True)
+    token = report.latency["token"]
+    chaos = report.chaos
+    assert chaos is not None
+    # completed_requests gates higher and token_latency_p99 lower; the
+    # recovery counters and makespan are informational — a chaos run's
+    # clock stretches with the fault schedule, not with regressions
+    return BenchRecord("fleet.chaos", metrics={
+        "completed_requests": float(report.requests["completed"]),
+        "token_latency_p99_seconds": token["p99"],
+        "makespan_seconds": report.throughput["makespan_seconds"],
+        "failed_permanently": float(
+            chaos["recovery"]["failed_permanently"]),
+        "failovers": float(chaos["recovery"]["failovers"]),
+        "hedges": float(chaos["recovery"]["hedges"]),
+        "breaker_opens": float(chaos["recovery"]["breaker_opens"]),
+    }, info={"devices": 8, "qps": 10.0, "horizon_seconds": 20.0,
+             "fault_spec": _CHAOS_FAULT_SPEC, "hedge": True,
+             "shed": report.requests["shed"],
+             "conservation": chaos["conservation"]})
+
+
 # ----------------------------------------------------------------------
 # runner
 # ----------------------------------------------------------------------
@@ -548,7 +584,8 @@ class Threshold:
 #: matched is informational: recorded, diffed, never gated.
 _HIGHER_IS_BETTER = ("tokens_per_second", "acceptance_rate",
                      "tokens_per_target_pass", "mean_live_batch",
-                     "effective_gflops", "tokens_per_joule")
+                     "effective_gflops", "tokens_per_joule",
+                     "completed_requests")
 _LOWER_SUFFIXES = ("_bytes",)
 _LOWER_EXACT = ("sim_seconds", "dma_seconds", "hvx_seconds")
 _LOWER_PREFIXES = ("token_latency_",)

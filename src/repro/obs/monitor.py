@@ -215,6 +215,10 @@ def _window_rows(stream: MetricStream) -> List[Dict[str, Any]]:
             "completions": window.value("completions"),
             "sheds": window.value("sheds"),
             "dispatches": window.value("dispatches"),
+            "failovers": window.value("failovers"),
+            "hedges": window.value("hedges"),
+            "device_downs": window.value("device_downs"),
+            "breaker_opens": window.value("breaker_opens"),
             "queue_wait_p95": window.value("queue_wait_seconds", "p95"),
             "governor_level": window.value("governor_level"),
             "kv_blocks": window.value("kv_blocks"),

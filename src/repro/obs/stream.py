@@ -243,7 +243,11 @@ def stream_from_log(log: EventLog,
       ``latency_seconds``;
     * ``shed`` -> counter ``sheds`` (fleet admission control dropped
       the request); ``dispatch`` -> counter ``dispatches`` plus sample
-      ``queue_wait_seconds`` when the event carries ``wait_seconds``.
+      ``queue_wait_seconds`` when the event carries ``wait_seconds``;
+    * chaos/recovery events -> counters ``failovers``, ``hedges``
+      (hedge dispatches only, not the losing leg's cancellation),
+      ``device_downs``/``device_ups`` and ``breaker_opens``/
+      ``breaker_closes``.
     """
     stream = MetricStream(window_seconds=window_seconds,
                           sample_buckets=sample_buckets)
@@ -303,4 +307,12 @@ def stream_from_log(log: EventLog,
             wait = attrs.get("wait_seconds")
             if wait is not None:
                 stream.record_sample("queue_wait_seconds", t, float(wait))
+        elif event.kind == "failover":
+            stream.record_counter("failovers", t)
+        elif event.kind == "hedge":
+            if not attrs.get("cancelled"):
+                stream.record_counter("hedges", t)
+        elif event.kind in ("device_down", "device_up",
+                            "breaker_open", "breaker_close"):
+            stream.record_counter(f"{event.kind}s", t)
     return stream

@@ -46,7 +46,12 @@ __all__ = [
 #: ``complete`` retirement (with its finish reason).  The fleet layer
 #: adds ``shed`` (admission control dropped the request on a full
 #: queue) and ``dispatch`` (a queued request started service on a
-#: device, with its queue wait).
+#: device, with its queue wait), plus the chaos/recovery vocabulary:
+#: ``device_down``/``device_up`` (a device crashed / rebooted),
+#: ``failover`` (a lost dispatch re-offered, or its retry budget
+#: exhausted), ``hedge`` (a second copy dispatched, or the losing leg
+#: cancelled first-completion-wins), and ``breaker_open``/
+#: ``breaker_close`` (a device's circuit breaker tripped / recovered).
 EVENT_KINDS = (
     "queue",
     "admit",
@@ -62,6 +67,12 @@ EVENT_KINDS = (
     "complete",
     "shed",
     "dispatch",
+    "device_down",
+    "device_up",
+    "failover",
+    "hedge",
+    "breaker_open",
+    "breaker_close",
 )
 
 _KIND_SET = frozenset(EVENT_KINDS)

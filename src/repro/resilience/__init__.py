@@ -28,6 +28,7 @@ Core invariants (enforced by ``tests/differential`` and
 
 from .faults import (
     FAULT_KINDS,
+    FLEET_FAULT_KINDS,
     INJECTION_SITES,
     FaultEvent,
     FaultInjector,
@@ -43,6 +44,7 @@ from .recovery import (
 
 __all__ = [
     "FAULT_KINDS",
+    "FLEET_FAULT_KINDS",
     "INJECTION_SITES",
     "FaultEvent",
     "FaultInjector",

@@ -32,6 +32,29 @@ Fault kinds and the layers that recover from them:
                    :mod:`repro.npu.power_mgmt`; step costs rescale so
                    simulated timing stays honest.
 =================  =====================================================
+
+Fleet-level fault kinds (PR 8) extend the grammar to whole devices in a
+:class:`~repro.fleet.simulation.FleetSimulation`.  They are addressed
+per device (``dev#K``) and indexed by **simulated seconds** on the
+shared event loop, not by operation count:
+
+=================  =====================================================
+``device_crash``   ``dev#K:crash@T[:D]`` — device K goes offline at
+                   sim-time T; with D set it reboots D seconds later.
+                   Recovery: in-flight dispatches fail over through the
+                   admission controller.
+``straggle``       ``dev#K:straggle@T:F:D`` — device K's service times
+                   stretch by factor F for D seconds (thermal stall,
+                   background app, bad radio).
+``dispatch_drop``  ``dev#K:drop@T`` — the dispatch in flight on device
+                   K at time T is lost; the request fails over.
+``battery_drain``  ``dev#K:battery@T`` — device K's battery rail is
+                   pulled to depleted; it leaves the rotation once its
+                   current request completes.
+=================  =====================================================
+
+The recovery side (circuit breakers, failover budgets, hedging) lives
+in :mod:`repro.fleet.health`.
 """
 
 from __future__ import annotations
@@ -55,6 +78,7 @@ from ..obs import trace as obs_trace
 
 __all__ = [
     "FAULT_KINDS",
+    "FLEET_FAULT_KINDS",
     "INJECTION_SITES",
     "FaultEvent",
     "FaultPlan",
@@ -63,13 +87,21 @@ __all__ = [
 ]
 
 FAULT_KINDS = ("session_abort", "dma_timeout", "alloc_fail",
-               "thermal_throttle")
+               "thermal_throttle", "device_crash", "straggle",
+               "dispatch_drop", "battery_drain")
+
+#: Fault kinds that target a whole fleet device (time-indexed, consumed
+#: by :class:`~repro.fleet.simulation.FleetSimulation`, never by the
+#: per-run :class:`FaultInjector`).
+FLEET_FAULT_KINDS = ("device_crash", "straggle", "dispatch_drop",
+                     "battery_drain")
 
 #: Known injection sites.  ``scheduler.step`` events fire by decode step
-#: number; the remaining sites fire by per-site operation index (the
-#: N-th allocation / submit observed at that site).
+#: number; ``fleet.device`` events fire at an absolute simulated time on
+#: the fleet event loop; the remaining sites fire by per-site operation
+#: index (the N-th allocation / submit observed at that site).
 INJECTION_SITES = ("scheduler.step", "fastrpc.submit", "tcm.alloc",
-                   "rpcmem.alloc", "kv_pool.alloc")
+                   "rpcmem.alloc", "kv_pool.alloc", "fleet.device")
 
 # kinds that make sense per site (spec validation)
 _SITE_KINDS = {
@@ -79,7 +111,14 @@ _SITE_KINDS = {
     "tcm.alloc": {"alloc_fail"},
     "rpcmem.alloc": {"alloc_fail"},
     "kv_pool.alloc": {"alloc_fail"},
+    "fleet.device": set(FLEET_FAULT_KINDS),
 }
+
+
+def _fmt(value: float) -> str:
+    """Canonical numeric rendering for spec strings (``1.5`` not ``1.50``)."""
+    text = format(float(value), "g")
+    return text
 
 
 @dataclass(frozen=True)
@@ -91,6 +130,13 @@ class FaultEvent:
     ``governor``/``duration_steps`` only apply to thermal throttling:
     the governor the DVFS ladder is forced down to, and for how many
     decode steps (``None`` = the rest of the run).
+
+    Fleet events (``site="fleet.device"``) instead carry ``device``
+    (the target device id), ``time_seconds`` (when the fault fires on
+    the fleet event loop), and for ``straggle``/``device_crash`` a
+    ``factor`` / ``duration_seconds`` pair (service-time multiplier and
+    how long the condition lasts; a crash without a duration never
+    reboots).
     """
 
     kind: str
@@ -98,6 +144,10 @@ class FaultEvent:
     at: int = 0
     governor: str = "efficiency"
     duration_steps: Optional[int] = None
+    device: Optional[int] = None
+    time_seconds: float = 0.0
+    factor: float = 1.0
+    duration_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -123,9 +173,52 @@ class FaultEvent:
             raise FaultError(
                 f"throttle duration must be positive, got "
                 f"{self.duration_steps}")
+        if self.site == "fleet.device":
+            if self.device is None or self.device < 0:
+                raise FaultError(
+                    f"fleet fault {self.kind!r} needs a device id >= 0, "
+                    f"got {self.device}")
+            if self.time_seconds < 0.0:
+                raise FaultError(
+                    f"fleet fault time must be >= 0 seconds, got "
+                    f"{self.time_seconds}")
+            if self.kind == "straggle":
+                if self.factor <= 1.0:
+                    raise FaultError(
+                        f"straggle factor must exceed 1, got {self.factor}")
+                if self.duration_seconds is None:
+                    raise FaultError("straggle needs a duration in seconds")
+            if (self.duration_seconds is not None
+                    and self.duration_seconds <= 0.0):
+                raise FaultError(
+                    f"fleet fault duration must be positive, got "
+                    f"{self.duration_seconds}")
+            if (self.kind in ("dispatch_drop", "battery_drain")
+                    and self.duration_seconds is not None):
+                raise FaultError(
+                    f"{self.kind} faults are instantaneous; drop the "
+                    f"duration")
+        elif self.device is not None:
+            raise FaultError(
+                f"only fleet.device faults address a device; "
+                f"{self.kind!r} at {self.site!r} must not set one")
 
     def spec(self) -> str:
         """Canonical single-event spec string (see :meth:`FaultPlan.parse`)."""
+        if self.site == "fleet.device":
+            head = f"dev#{self.device}"
+            if self.kind == "device_crash":
+                base = f"{head}:crash@{_fmt(self.time_seconds)}"
+                if self.duration_seconds is not None:
+                    base += f":{_fmt(self.duration_seconds)}"
+                return base
+            if self.kind == "straggle":
+                return (f"{head}:straggle@{_fmt(self.time_seconds)}"
+                        f":{_fmt(self.factor)}"
+                        f":{_fmt(self.duration_seconds)}")
+            short = {"dispatch_drop": "drop",
+                     "battery_drain": "battery"}[self.kind]
+            return f"{head}:{short}@{_fmt(self.time_seconds)}"
         if self.site == "scheduler.step":
             if self.kind == "thermal_throttle":
                 base = f"throttle@{self.at}:{self.governor}"
@@ -153,8 +246,12 @@ class FaultPlan:
     """
 
     def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        # the trailing fleet fields are constants for non-fleet events,
+        # so the ordering of pre-existing plans is unchanged
         self.events: Tuple[FaultEvent, ...] = tuple(
-            sorted(events, key=lambda e: (e.site, e.at, e.kind)))
+            sorted(events, key=lambda e: (
+                e.site, e.at, e.time_seconds,
+                -1 if e.device is None else e.device, e.kind)))
 
     # ------------------------------------------------------------------
     # constructors
@@ -184,6 +281,17 @@ class FaultPlan:
             kvpool#K                 K-th KV block allocation fails
             rpc#K[:abort|:dma]       K-th FastRPC submit faults
 
+        Fleet events (fire at simulated second T on device K of a
+        :class:`~repro.fleet.simulation.FleetSimulation`)::
+
+            dev#K:crash@T[:D]        device K offline at T; with D set
+                                     it reboots D seconds later
+            dev#K:straggle@T:F:D     device K serves F-times slower for
+                                     D seconds
+            dev#K:drop@T             the dispatch in flight on K at T
+                                     is lost
+            dev#K:battery@T          device K's battery rail depletes
+
         ``random:SEED`` generates a small mixed plan from a dedicated
         seeded RNG (see :meth:`random`).  Example chaos spec::
 
@@ -211,6 +319,31 @@ class FaultPlan:
     @staticmethod
     def _parse_token(token: str) -> FaultEvent:
         try:
+            if token.startswith("dev#"):
+                head, rest = token.split(":", 1)
+                device = int(head[len("dev#"):])
+                verb, args = rest.split("@", 1)
+                parts = args.split(":")
+                time_seconds = float(parts[0])
+                if verb == "crash":
+                    duration = (float(parts[1]) if len(parts) > 1 else None)
+                    return FaultEvent("device_crash", "fleet.device",
+                                      device=device,
+                                      time_seconds=time_seconds,
+                                      duration_seconds=duration)
+                if verb == "straggle":
+                    return FaultEvent("straggle", "fleet.device",
+                                      device=device,
+                                      time_seconds=time_seconds,
+                                      factor=float(parts[1]),
+                                      duration_seconds=float(parts[2]))
+                kind = {"drop": "dispatch_drop",
+                        "battery": "battery_drain"}[verb]
+                if len(parts) > 1:
+                    raise FaultError(
+                        f"{verb} faults take no duration: {token!r}")
+                return FaultEvent(kind, "fleet.device", device=device,
+                                  time_seconds=time_seconds)
             if "@" in token:
                 head, rest = token.split("@", 1)
                 if head == "throttle":
@@ -242,12 +375,24 @@ class FaultPlan:
     @classmethod
     def random(cls, seed: int, n_aborts: int = 1, n_dma: int = 1,
                n_allocs: int = 1, n_throttles: int = 1,
-               horizon_steps: int = 16) -> "FaultPlan":
+               horizon_steps: int = 16, n_crashes: int = 0,
+               n_straggles: int = 0, n_drops: int = 0,
+               n_battery: int = 0, n_devices: int = 1,
+               horizon_seconds: Optional[float] = None) -> "FaultPlan":
         """A seeded random chaos plan over the first ``horizon_steps``.
 
         Uses its own :func:`numpy.random.default_rng` stream so plan
         generation never perturbs the accuracy RNG; two calls with the
         same arguments produce identical plans.
+
+        Fleet-level kinds are opt-in: the crash/straggle/drop/battery
+        counts default to zero and their draws happen *after* every
+        scheduler-level draw, so plans for pre-existing seeds and
+        arguments are bitwise-stable (pinned by
+        ``tests/test_fleet_chaos.py::test_random_seed0_spec_pinned``).
+        Fleet fault times land on a centisecond grid inside
+        ``horizon_seconds`` (default: ``horizon_steps`` seconds) across
+        ``n_devices`` devices.
         """
         if horizon_steps <= 0:
             raise FaultError(
@@ -268,6 +413,49 @@ class FaultPlan:
                 int(rng.integers(0, horizon_steps)),
                 governor=governors[int(rng.integers(0, len(governors)))],
                 duration_steps=int(rng.integers(2, horizon_steps + 1))))
+        n_fleet = max(n_crashes, 0) + max(n_straggles, 0) \
+            + max(n_drops, 0) + max(n_battery, 0)
+        if n_fleet:
+            if n_devices <= 0:
+                raise FaultError(
+                    f"fleet faults need n_devices >= 1, got {n_devices}")
+            horizon = (float(horizon_seconds) if horizon_seconds is not None
+                       else float(horizon_steps))
+            if horizon <= 0:
+                raise FaultError(
+                    f"fleet horizon must be positive, got {horizon}")
+            # centisecond grid: spec strings round-trip exactly through
+            # float parsing, keeping replay strings canonical
+            ticks = max(1, int(horizon * 100))
+
+            def _time() -> float:
+                return int(rng.integers(0, ticks)) / 100.0
+
+            def _device() -> int:
+                return int(rng.integers(0, n_devices))
+
+            for _ in range(max(n_crashes, 0)):
+                reboot = int(rng.integers(0, 2))
+                duration = (int(rng.integers(50, ticks + 50)) / 100.0
+                            if reboot else None)
+                events.append(FaultEvent(
+                    "device_crash", "fleet.device", device=_device(),
+                    time_seconds=_time(), duration_seconds=duration))
+            for _ in range(max(n_straggles, 0)):
+                events.append(FaultEvent(
+                    "straggle", "fleet.device", device=_device(),
+                    time_seconds=_time(),
+                    factor=1.0 + int(rng.integers(1, 8)) / 2.0,
+                    duration_seconds=int(rng.integers(50, ticks + 50))
+                    / 100.0))
+            for _ in range(max(n_drops, 0)):
+                events.append(FaultEvent(
+                    "dispatch_drop", "fleet.device", device=_device(),
+                    time_seconds=_time()))
+            for _ in range(max(n_battery, 0)):
+                events.append(FaultEvent(
+                    "battery_drain", "fleet.device", device=_device(),
+                    time_seconds=_time()))
         return cls(events)
 
     # ------------------------------------------------------------------
@@ -281,6 +469,24 @@ class FaultPlan:
         for event in self.events:
             out[event.kind] = out.get(event.kind, 0) + 1
         return out
+
+    def fleet_events(self) -> Tuple[FaultEvent, ...]:
+        """The ``fleet.device`` events, in firing order.
+
+        Consumed by :class:`~repro.fleet.simulation.FleetSimulation`,
+        which schedules each on the shared event loop at its
+        ``time_seconds``; the per-run :class:`FaultInjector` skips them
+        entirely, so one plan can mix device-level chaos with the
+        scheduler-level faults an engine-backed device arms per run.
+        """
+        return tuple(sorted(
+            (e for e in self.events if e.site == "fleet.device"),
+            key=lambda e: (e.time_seconds, e.device, e.kind)))
+
+    def scheduler_plan(self) -> "FaultPlan":
+        """This plan minus its fleet-level events (injector's share)."""
+        return FaultPlan([e for e in self.events
+                          if e.site != "fleet.device"])
 
     def __len__(self) -> int:
         return len(self.events)
@@ -345,6 +551,10 @@ class FaultInjector:
         self.plan = plan
         self._by_site: Dict[str, Dict[int, List[FaultEvent]]] = {}
         for event in plan:
+            if event.site == "fleet.device":
+                # device-level events belong to the fleet layer; they
+                # never fire through per-run operation counting
+                continue
             self._by_site.setdefault(event.site, {}).setdefault(
                 event.at, []).append(event)
         self._counters: Dict[str, int] = {}

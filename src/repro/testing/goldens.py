@@ -214,6 +214,20 @@ def _fleet_capacity() -> Dict:
     return report.to_json()
 
 
+@_register("fleet.chaos", "json",
+           "8-device saturated window under a fixed fault schedule "
+           "with failover and hedging")
+def _fleet_chaos() -> Dict:
+    from ..fleet import run_fleet
+
+    report = run_fleet(
+        8, 10.0, horizon_seconds=20.0, seed=2026,
+        with_capacity_plan=False, hedge=True,
+        fault_spec="dev#0:crash@3:6,dev#1:straggle@2:3:10,"
+                   "dev#2:drop@5,dev#3:battery@8,dev#4:crash@12")
+    return report.to_json()
+
+
 # ----------------------------------------------------------------------
 # cases: on-disk format conformance
 # ----------------------------------------------------------------------

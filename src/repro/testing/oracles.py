@@ -840,3 +840,104 @@ class FleetOracle(Oracle):
                            n_offered=float(requests["offered"]),
                            n_completed=float(requests["completed"]),
                            n_shed=float(requests["shed"]))
+
+
+@register_oracle
+class FleetChaosOracle(Oracle):
+    """Chaos replay: a faulted, hedged fleet run is still deterministic.
+
+    The PR-8 guarantee on top of :class:`FleetOracle`: under **any**
+    seeded fleet fault schedule (crashes, stragglers, dropped
+    dispatches, battery drains) with failover and hedging armed, the
+    ``repro.fleet/v1`` report — chaos section included — replays
+    byte-identically, and the conservation invariant widens to
+    ``offered == completed + shed + failed_permanently + unserved``
+    (the simulation itself raises if a hedged request is served twice).
+    """
+
+    name = "fleet.chaos"
+    description = ("faulted fleet run, twice: byte-identical chaos "
+                   "report + request conservation with failover/hedging")
+    SHRINK_MINS = {"devices": 1, "qps": 1, "horizon_ds": 1,
+                   "queue_depth": 1, "seed": 0, "fault_seed": 0,
+                   "n_crashes": 0, "n_straggles": 0, "n_drops": 0,
+                   "n_battery": 0, "hedge": 0}
+
+    def sample_config(self, rng: np.random.Generator) -> Config:
+        return {
+            "devices": int(rng.integers(1, 25)),
+            "qps": int(rng.integers(1, 25)),
+            "horizon_ds": int(rng.integers(10, 201)),  # deciseconds
+            "queue_depth": int(rng.integers(1, 33)),
+            "seed": int(rng.integers(0, 2**31)),
+            "fault_seed": int(rng.integers(0, 2**31)),
+            "n_crashes": int(rng.integers(0, 4)),
+            "n_straggles": int(rng.integers(0, 4)),
+            "n_drops": int(rng.integers(0, 4)),
+            "n_battery": int(rng.integers(0, 2)),
+            "hedge": int(rng.integers(0, 2)),
+        }
+
+    def _fault_spec(self, config: Config) -> str:
+        from ..resilience.faults import FaultPlan
+
+        plan = FaultPlan.random(
+            int(config["fault_seed"]), n_aborts=0, n_dma=0, n_allocs=0,
+            n_throttles=0, n_crashes=int(config["n_crashes"]),
+            n_straggles=int(config["n_straggles"]),
+            n_drops=int(config["n_drops"]),
+            n_battery=int(config["n_battery"]),
+            n_devices=int(config["devices"]),
+            horizon_seconds=int(config["horizon_ds"]) / 10.0)
+        return plan.spec()
+
+    def _report(self, config: Config, fault_spec: str):
+        from ..fleet import run_fleet
+
+        return run_fleet(
+            int(config["devices"]), float(config["qps"]),
+            horizon_seconds=int(config["horizon_ds"]) / 10.0,
+            seed=int(config["seed"]),
+            queue_depth=int(config["queue_depth"]),
+            with_capacity_plan=False,
+            fault_spec=fault_spec, hedge=bool(int(config["hedge"])))
+
+    def run(self, config: Config) -> OracleResult:
+        self._check_config(config)
+        fault_spec = self._fault_spec(config)
+        first = self._report(config, fault_spec)
+        second = self._report(config, fault_spec)
+        text_a, text_b = first.to_json_text(), second.to_json_text()
+        if text_a != text_b:
+            for line_a, line_b in zip(text_a.splitlines(),
+                                      text_b.splitlines()):
+                if line_a != line_b:
+                    return self.failed(
+                        config, "state",
+                        f"chaos replay diverged: {line_a!r} vs {line_b!r}")
+            return self.failed(config, "state",
+                               "chaos replay diverged in length only")
+        requests = first.requests
+        chaos = first.chaos
+        failed = (chaos["recovery"]["failed_permanently"]
+                  if chaos is not None else 0)
+        terminal = (requests["completed"] + requests["shed"] + failed
+                    + requests["unserved"])
+        if requests["offered"] != terminal:
+            return self.failed(
+                config, "state",
+                f"request conservation violated under chaos: offered "
+                f"{requests['offered']} != completed+shed+failed+unserved "
+                f"{terminal}")
+        if chaos is not None and chaos["conservation"]["offered"] != (
+                requests["offered"]):
+            return self.failed(
+                config, "state",
+                "chaos ledger disagrees with the requests section")
+        n_faults = (chaos["faults"]["fleet_events"]
+                    if chaos is not None else 0)
+        return self.passed(config,
+                           n_offered=float(requests["offered"]),
+                           n_completed=float(requests["completed"]),
+                           n_fleet_faults=float(n_faults),
+                           n_failed=float(failed))

@@ -165,7 +165,7 @@ class TestBatteryRail:
     def test_validation(self):
         with pytest.raises(FleetError):
             BatteryRail(capacity_joules=0.0)
-        with pytest.raises(FleetError):
+        with pytest.raises(ValueError):
             BatteryRail(capacity_joules=1.0).draw(-1.0)
 
 
