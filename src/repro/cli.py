@@ -86,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-query wall-clock deadline on the "
                               "simulated timeline; generation degrades to "
                               "best-answer-so-far when exceeded")
+    profile.add_argument("--placement", action="store_true",
+                         help="print the stage-level backend decision "
+                              "table (prefill/decode grids x thermal "
+                              "governors) from the Fig. 13 crossover "
+                              "models; with --scheduler, also dispatches "
+                              "the decode run stage-by-stage")
     profile.add_argument("--trace-out", default="repro_trace.json",
                          help="output path of the chrome://tracing JSON")
     profile.add_argument("--report-out", default=None,
@@ -356,7 +362,8 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
                  candidates: Optional[int] = None,
                  faults: Optional[str] = None,
                  deadline_ms: Optional[float] = None,
-                 json_out: Optional[str] = None) -> int:
+                 json_out: Optional[str] = None,
+                 placement: bool = False) -> int:
     import json
 
     from .errors import ObservabilityError, ReproError
@@ -382,6 +389,33 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
         return 2
     device = DEVICES[device_key]
     timing = TimingModel(device.npu)
+
+    placement_rows = None
+    if placement:
+        from .llm.config import get_model_config
+        from .llm.dispatch import BackendSelector
+
+        # the crossover table is reported for the paper's 3B model —
+        # the tiny simulator config the run itself uses is GPU-won
+        # everywhere and would hide the Fig. 13 structure
+        table_selector = BackendSelector(device,
+                                         get_model_config("qwen2.5-3b"))
+        out.write(f"== stage-level placement ({device_key} / "
+                  f"qwen2.5-3b) ==\n")
+        placement_rows = []
+        for governor in ("performance", "balanced", "efficiency"):
+            cross = table_selector.crossover_batch(governor=governor)
+            out.write(f"governor {governor}: NPU wins decode from "
+                      f"batch {cross}\n")
+            for row in table_selector.decision_table(governor):
+                out.write(f"  {row.stage:<8s} size {row.size:>5d} -> "
+                          f"{row.backend:<4s} "
+                          f"({row.latency_seconds * 1e3:9.4f} ms)\n")
+                placement_rows.append({
+                    "governor": governor, "stage": row.stage,
+                    "size": row.size, "backend": row.backend,
+                    "latency_seconds": row.latency_seconds})
+        out.write("\n")
 
     fault_plan = None
     if faults is not None:
@@ -425,11 +459,16 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
                 n_candidates = candidates if candidates is not None \
                     else 2 * batch
                 sched = ContinuousBatchingScheduler(engine)
+                dispatch = None
+                if placement:
+                    from .llm.dispatch import BackendSelector
+                    dispatch = BackendSelector(device, config)
                 result = sched.generate(
                     list(range(1, prompt_tokens + 1)),
                     n_candidates=n_candidates,
                     max_new_tokens=new_tokens,
                     fault_plan=fault_plan,
+                    dispatch=dispatch,
                     deadline_seconds=(deadline_ms / 1e3
                                       if deadline_ms is not None else None))
                 out.write(
@@ -441,6 +480,13 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
                     f"{result.cow_copies} CoW copies, "
                     f"peak KV {result.peak_kv_bytes} B, "
                     f"{result.sim_seconds * 1e3:.3f} ms simulated)\n")
+                if dispatch is not None:
+                    backends = sorted({b for _, b in result.backend_steps})
+                    out.write(
+                        f"placement: decode on {'/'.join(backends)}, "
+                        f"{result.n_backend_switches} backend switches, "
+                        f"{result.migration_seconds * 1e3:.3f} ms "
+                        f"migrating KV\n")
                 if fault_plan is not None or deadline_ms is not None:
                     kind_counts: dict = {}
                     for record in result.faults:
@@ -490,6 +536,8 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
         data["workload"] = ("scheduler" if workload == "decode" and scheduler
                             else workload)
         data["device"] = device_key
+        if placement_rows is not None:
+            data["placement"] = placement_rows
         if json_out == "-":
             out.write(json.dumps(data, indent=2, sort_keys=True) + "\n")
         else:
@@ -737,7 +785,8 @@ def _dispatch(args, out) -> int:
                             candidates=args.candidates,
                             faults=args.faults,
                             deadline_ms=args.deadline_ms,
-                            json_out=args.json_out)
+                            json_out=args.json_out,
+                            placement=args.placement)
     if args.command == "bench":
         return _cmd_bench(args.check, args.update_baseline, args.baseline,
                           args.only, args.fast, args.device, args.seed,

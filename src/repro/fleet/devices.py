@@ -282,10 +282,18 @@ class AnalyticFleetDevice(FleetDevice):
                  model_name: str = DEFAULT_FLEET_MODEL,
                  battery: Optional[BatteryRail] = None,
                  thermal: Optional[ThermalState] = None,
-                 hdr_bits: Optional[int] = None) -> None:
+                 hdr_bits: Optional[int] = None,
+                 dispatch: bool = False) -> None:
         super().__init__(device_id, device, battery=battery,
                          thermal=thermal, hdr_bits=hdr_bits)
         self.model_name = model_name
+        self.selector = None
+        self.n_backend_switches = 0
+        if dispatch:
+            from ..llm.dispatch import BackendSelector
+
+            self.selector = BackendSelector(device,
+                                            get_model_config(model_name))
 
     def _service(self, request: FleetRequest) -> ServiceOutcome:
         from ..llm.scheduler import plan_waves
@@ -302,7 +310,26 @@ class AnalyticFleetDevice(FleetDevice):
             self.device, governor.name, self.model_name, batch, context)
         prefill = _prefill_seconds(
             self.device, governor.name, self.model_name, prompt)
-        service = prefill + steps * step_seconds
+        migration = 0.0
+        if self.selector is not None:
+            # stage-level placement: rescale each stage by the chosen
+            # backend's modeled slowdown relative to the NPU (the same
+            # npu_ratio lever the scheduler applies per step), and pay
+            # one rpcmem KV crossing when prefill and decode land on
+            # different backends
+            from ..llm.placement import crossing_for_bytes
+
+            pre = self.selector.select("prefill", prompt, governor.name)
+            dec = self.selector.select("decode", batch, governor.name)
+            prefill *= pre.npu_ratio
+            step_seconds *= dec.npu_ratio
+            if pre.backend != dec.backend:
+                config = get_model_config(self.model_name)
+                kv_bytes = (batch * context * config.n_layers
+                            * 2 * config.kv_dim * 2)
+                migration = crossing_for_bytes(self.device, kv_bytes)
+                self.n_backend_switches += 1
+        service = prefill + steps * step_seconds + migration
         watts = _power_watts(self.device, governor.name, self.model_name,
                              batch, context)
         joules = watts * service
@@ -328,12 +355,17 @@ class EngineFleetDevice(FleetDevice):
     def __init__(self, device_id: int, scheduler, device: Device,
                  sampler_factory=None,
                  battery: Optional[BatteryRail] = None,
-                 hdr_bits: Optional[int] = None) -> None:
+                 hdr_bits: Optional[int] = None,
+                 dispatch=None, prefill_chunk: Optional[int] = None) -> None:
         super().__init__(device_id, device, battery=battery,
                          hdr_bits=hdr_bits)
         self.scheduler = scheduler
         self.clock = SimClock()
         self._sampler_factory = sampler_factory
+        # optional stage-level placement, threaded into every generate
+        # call; both default off so existing fleets stay bitwise
+        self.dispatch = dispatch
+        self.prefill_chunk = prefill_chunk
 
     def _synthetic_prompt(self, request: FleetRequest) -> List[int]:
         # deterministic, request-shaped, vocabulary-safe token ids
@@ -354,7 +386,8 @@ class EngineFleetDevice(FleetDevice):
         result = self.scheduler.generate(
             prompt, n_candidates=request.n_candidates,
             max_new_tokens=request.max_new_tokens, sampler=sampler,
-            fault_plan=plan, clock=self.clock)
+            fault_plan=plan, clock=self.clock,
+            dispatch=self.dispatch, prefill_chunk=self.prefill_chunk)
         tokens = sum(len(seq) for seq in result.sequences)
         return ServiceOutcome(service_seconds=result.sim_seconds,
                               tokens=tokens, joules=result.joules,
@@ -366,7 +399,8 @@ def build_population(n_devices: int,
                      model_name: str = DEFAULT_FLEET_MODEL,
                      battery_capacity_joules: float = DEFAULT_BATTERY_JOULES,
                      throttle_at_joules: float = 60.0,
-                     recover_at_joules: float = 30.0
+                     recover_at_joules: float = 30.0,
+                     dispatch: bool = False
                      ) -> List[AnalyticFleetDevice]:
     """A heterogeneous analytic population, round-robin over the three
     Table-3 devices (deterministic: device ``i`` is generation
@@ -381,5 +415,6 @@ def build_population(n_devices: int,
             device_id=i, device=device, model_name=model_name,
             battery=BatteryRail(capacity_joules=battery_capacity_joules),
             thermal=ThermalState(throttle_at_joules=throttle_at_joules,
-                                 recover_at_joules=recover_at_joules)))
+                                 recover_at_joules=recover_at_joules),
+            dispatch=dispatch))
     return out

@@ -17,11 +17,13 @@ from .block_pool import (
     QuantizedPagedLayerKVCache,
 )
 from .config import MODEL_CONFIGS, ModelConfig, get_model_config, tiny_config
+from .dispatch import BackendDecision, BackendSelector
 from .engine import GenerationResult, InferenceEngine
 from .kv_cache import KVCache, LayerKVCache, QuantizedLayerKVCache
 from .model import NPUTransformer, StepCost, TransformerWeights, reference_forward
 from .scheduler import (
     ContinuousBatchingScheduler,
+    PromptAdmission,
     ScheduledGeneration,
     WavePlan,
     plan_waves,
@@ -40,7 +42,10 @@ __all__ = [
     "PagedKVCache",
     "PagedLayerKVCache",
     "QuantizedPagedLayerKVCache",
+    "BackendDecision",
+    "BackendSelector",
     "ContinuousBatchingScheduler",
+    "PromptAdmission",
     "ScheduledGeneration",
     "WavePlan",
     "plan_waves",

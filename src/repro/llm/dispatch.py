@@ -1,0 +1,205 @@
+"""Stage-level backend dispatch: the Fig. 13 crossover, acted on.
+
+The paper's Fig. 13 shows the NPU winning prefill and batched decode
+while the llama.cpp CPU/GPU backends win small-batch decode ("When NPUs
+Are Not Always Faster").  The analytic models of those systems already
+live in :mod:`repro.perf.baselines`; this module turns them into a
+scheduling decision: a :class:`BackendSelector` picks, per (stage,
+batch size, thermal governor), the backend with the lowest modeled
+stage latency, restricted to backends that can actually run the stage
+(the NPU needs ``gemm`` and ``attention`` kernels in the
+:class:`~repro.llm.placement.OpCatalog`).
+
+Decisions are quantized onto a small batch grid and memoized, so the
+scheduler hot loop pays one dict lookup per step, and the decision
+function is a *pure* function of its (hashable) inputs — the property
+the hypothesis suite pins down.  The NPU model is governor-aware
+(thermal throttling slows only the NPU, shifting the crossover toward
+the CPU/GPU); the CPU/GPU baselines run at their own clocks and are
+deliberately governor-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import EngineError
+from ..npu.power_mgmt import GOVERNORS, apply_governor
+from ..npu.soc import Device
+from ..perf.baselines import AdrenoGPUModel, CPUBaselineModel
+from ..perf.latency import DecodePerformanceModel
+from .config import ModelConfig
+from .placement import OpCatalog
+
+__all__ = [
+    "BACKENDS",
+    "BATCH_GRID",
+    "PREFILL_GRID",
+    "BackendDecision",
+    "BackendSelector",
+]
+
+#: Backends the selector can dispatch a stage to, in tie-break
+#: preference order (the NPU wins ties: it is where the KV cache lives,
+#: so staying put avoids a future migration).
+BACKENDS = ("npu", "gpu", "cpu")
+
+#: Decode batch sizes the decision function is evaluated at.  Batches
+#: between grid points quantize *up* to the next point (a conservative
+#: latency estimate); beyond the grid they clamp to the last point.
+BATCH_GRID = (1, 2, 4, 6, 8, 12, 16, 24, 32)
+
+#: Prefill token counts (a chunk or a whole short prompt) the decision
+#: function is evaluated at.
+PREFILL_GRID = (8, 16, 32, 64, 128, 256, 512, 1024)
+
+STAGES = ("prefill", "decode")
+
+
+def _quantize(value: int, grid: Tuple[int, ...]) -> int:
+    for point in grid:
+        if value <= point:
+            return point
+    return grid[-1]
+
+
+@lru_cache(maxsize=4096)
+def _modeled_latency(backend: str, stage: str, config: ModelConfig,
+                     device: Device, governor_name: str, size: int,
+                     context: int) -> float:
+    """Modeled latency of one stage on one backend (pure + memoized).
+
+    ``size`` is the decode batch or the prefill token count.  Only the
+    NPU model sees the governor: DVFS throttling rescales the Hexagon
+    clock/fabric, not the CPU or GPU.
+    """
+    if backend == "npu":
+        governed = replace(device,
+                           npu=apply_governor(device.npu, governor_name))
+        model = DecodePerformanceModel(config, governed)
+        if stage == "decode":
+            return model.decode_step(size, context).total_seconds
+        return model.prefill_latency(size)
+    if backend == "gpu":
+        gpu = AdrenoGPUModel(config)
+        if stage == "decode":
+            return gpu.decode_latency(size, context)
+        return gpu.prefill_latency(size)
+    cpu = CPUBaselineModel(config, device)
+    if stage == "decode":
+        return cpu.decode_latency(size, context)
+    return cpu.prefill_latency(size)
+
+
+@dataclass(frozen=True)
+class BackendDecision:
+    """One dispatch decision with the full modeled-latency table.
+
+    ``size`` is the grid point the request quantized onto; ``modeled``
+    maps every backend (eligible or not) to its modeled stage latency,
+    so the decision is auditable and the scheduler can form the
+    NPU-relative slowdown ratio without re-querying the models.
+    """
+
+    stage: str
+    size: int
+    governor: str
+    backend: str
+    latency_seconds: float
+    modeled: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def npu_ratio(self) -> float:
+        """Modeled slowdown of the chosen backend relative to the NPU."""
+        return self.modeled[self.backend] / self.modeled["npu"]
+
+
+class BackendSelector:
+    """Pick a backend per (stage, batch/chunk size, governor state).
+
+    ``catalog`` gates NPU eligibility: without ``gemm`` *and*
+    ``attention`` NPU kernels the transformer body cannot run there and
+    the selector never returns ``"npu"``.  ``forced`` pins every
+    decision to one backend (the bitwise-no-op escape hatch and the A/B
+    lever for tests); the modeled table is still populated.
+    """
+
+    def __init__(self, device: Device, config: ModelConfig,
+                 catalog: Optional[OpCatalog] = None,
+                 forced: Optional[str] = None,
+                 context: int = 1024) -> None:
+        if forced is not None and forced not in BACKENDS:
+            raise EngineError(
+                f"unknown forced backend {forced!r}; known: {BACKENDS}")
+        if context <= 0:
+            raise EngineError(f"context must be positive, got {context}")
+        self.device = device
+        self.config = config
+        self.catalog = catalog if catalog is not None else OpCatalog()
+        self.forced = forced
+        self.context = int(context)
+        self._npu_eligible = (self.catalog.has_npu_kernel("gemm")
+                              and self.catalog.has_npu_kernel("attention"))
+
+    # ------------------------------------------------------------------
+    def eligible_backends(self) -> Tuple[str, ...]:
+        if self._npu_eligible:
+            return BACKENDS
+        return tuple(b for b in BACKENDS if b != "npu")
+
+    def select(self, stage: str, size: int,
+               governor: str = "performance") -> BackendDecision:
+        """The lowest-modeled-latency backend for one stage execution.
+
+        ``size`` is the live decode batch or the prefill chunk length;
+        it quantizes onto the stage's grid so the memoized model table
+        stays small.  Ties break toward the earlier entry of
+        :data:`BACKENDS` (the NPU).
+        """
+        if stage not in STAGES:
+            raise EngineError(f"unknown stage {stage!r}; known: {STAGES}")
+        if size <= 0:
+            raise EngineError(f"stage size must be positive, got {size}")
+        if governor not in GOVERNORS:
+            raise EngineError(
+                f"unknown governor {governor!r}; known: {sorted(GOVERNORS)}")
+        grid = BATCH_GRID if stage == "decode" else PREFILL_GRID
+        point = _quantize(int(size), grid)
+        modeled = {backend: _modeled_latency(
+            backend, stage, self.config, self.device, governor, point,
+            self.context) for backend in BACKENDS}
+        if self.forced is not None:
+            backend = self.forced
+        else:
+            backend = min(self.eligible_backends(),
+                          key=lambda b: (modeled[b], BACKENDS.index(b)))
+        return BackendDecision(stage=stage, size=point, governor=governor,
+                               backend=backend,
+                               latency_seconds=modeled[backend],
+                               modeled=modeled)
+
+    # ------------------------------------------------------------------
+    def crossover_batch(self, stage: str = "decode",
+                        governor: str = "performance") -> Optional[int]:
+        """Smallest grid size at which the NPU wins the stage (Fig. 13).
+
+        ``None`` when the NPU never wins on the grid (e.g. a catalog
+        without its GEMM kernel).
+        """
+        grid = BATCH_GRID if stage == "decode" else PREFILL_GRID
+        for point in grid:
+            if self.select(stage, point, governor).backend == "npu":
+                return point
+        return None
+
+    def decision_table(self, governor: str = "performance"
+                       ) -> List[BackendDecision]:
+        """Every grid decision for both stages (the CLI placement view)."""
+        rows: List[BackendDecision] = []
+        for stage in STAGES:
+            grid = BATCH_GRID if stage == "decode" else PREFILL_GRID
+            rows.extend(self.select(stage, point, governor)
+                        for point in grid)
+        return rows

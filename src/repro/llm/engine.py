@@ -217,9 +217,53 @@ class InferenceEngine:
         with obs_trace.span("engine.prefill", category="engine",
                             n_tokens=len(prompt), seq=seq) as sp:
             logits, cost = self.model.forward(tokens, self.cache,
-                                              sequences=[seq])
+                                              sequences=[seq],
+                                              stable_lm_head=True)
             sp.set(cpu_seconds=self._cpu_seconds(cost))
         return logits[0, -1], cost
+
+    def prefill_chunk(self, chunk: Sequence[int], seq: int = 0
+                      ) -> "tuple[np.ndarray, StepCost]":
+        """Run one prompt chunk through slot ``seq``, continuing the slot.
+
+        Chunked prefill feeds a long prompt through the TCM-sized
+        windows the pipeline actually processes.  RoPE positions come
+        from the slot's current cached length, so running a prompt as
+        one call or as consecutive chunks computes the *same* per-token
+        forward passes — the bitwise parity the ``prefill.chunked``
+        oracle locks down.  Returns the logits of the chunk's last
+        token and the chunk's step cost.
+        """
+        chunk = list(chunk)
+        if not chunk:
+            raise EngineError("cannot prefill an empty chunk")
+        cached = self.cache.sequence_length(seq)
+        if cached + len(chunk) + 1 > self.max_context:
+            raise EngineError(
+                f"chunk of {len(chunk)} tokens on {cached} cached exceeds "
+                f"context {self.max_context}")
+        tokens = np.asarray(chunk, dtype=np.int64)[np.newaxis, :]
+        with obs_trace.span("engine.prefill_chunk", category="engine",
+                            n_tokens=len(chunk), seq=seq,
+                            cached=cached) as sp:
+            logits, cost = self.model.forward(tokens, self.cache,
+                                              sequences=[seq],
+                                              stable_lm_head=True)
+            sp.set(cpu_seconds=self._cpu_seconds(cost))
+        return logits[0, -1], cost
+
+    def offloaded_step_energy(self, step_seconds: float
+                              ) -> "obs_energy.EnergyBreakdown":
+        """Joules of a step whose compute ran off-NPU (CPU/GPU dispatch).
+
+        The NPU's dynamic DMA/HMX/HVX terms are zero; the platform base
+        power plus a fully-busy CPU term cover the step, so dispatching
+        a stage off the NPU changes the energy attribution along with
+        the latency.
+        """
+        return self.energy_model.step_energy(
+            None, step_seconds, step_seconds,
+            power_scale=self.governor.power_scale)
 
     def fork_prompt(self, source: int = 0,
                     targets: Optional[List[int]] = None) -> None:

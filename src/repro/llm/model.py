@@ -202,7 +202,8 @@ class NPUTransformer:
     # forward pass
     # ------------------------------------------------------------------
     def forward(self, tokens: np.ndarray, cache: KVCache,
-                sequences: Optional[List[int]] = None
+                sequences: Optional[List[int]] = None,
+                stable_lm_head: bool = False
                 ) -> Tuple[np.ndarray, StepCost]:
         """Run one step for a batch of sequences.
 
@@ -210,6 +211,13 @@ class NPUTransformer:
         batch appends its ``n_new`` tokens to cache slot ``sequences[i]``
         (identity mapping by default).  Returns FP32 logits of shape
         ``(batch, n_new, vocab)`` and the aggregated step cost.
+
+        ``stable_lm_head`` routes a single-row lm_head matmul through
+        the same BLAS gemm kernel multi-row calls use (BLAS dispatches
+        one-row products to gemv, whose accumulation order rounds
+        differently).  Prefill paths enable it so a chunked prefill
+        whose last chunk is one token stays bitwise identical to the
+        monolithic forward.
         """
         tokens = np.atleast_2d(np.asarray(tokens, dtype=np.int64))
         batch, n_new = tokens.shape
@@ -306,7 +314,12 @@ class NPUTransformer:
                              m=batch * n_new, k=cfg.hidden_dim,
                              n=cfg.vocab_size):
                 final = rms_norm(flat, self.weights.final_norm.astype(np.float16))
-                logits = final.astype(np.float32) @ self.weights.lm_head
+                final32 = final.astype(np.float32)
+                if stable_lm_head and final32.shape[0] == 1:
+                    logits = (np.concatenate([final32, final32], axis=0)
+                              @ self.weights.lm_head)[:1]
+                else:
+                    logits = final32 @ self.weights.lm_head
             cost.cpu_gemms.append((batch * n_new, cfg.hidden_dim, cfg.vocab_size))
             forward_span.add_cost(cost.npu + KernelCost())
         return logits.reshape(batch, n_new, cfg.vocab_size), cost

@@ -34,6 +34,7 @@ __all__ = [
     "PlacementPolicy",
     "PlacementPlan",
     "build_decode_ops",
+    "crossing_for_bytes",
 ]
 
 OP_TYPES = ("gemm", "attention", "rms_norm", "rope", "swiglu",
@@ -41,6 +42,18 @@ OP_TYPES = ("gemm", "attention", "rms_norm", "rope", "swiglu",
 
 # rpcmem boundary crossing: explicit cache maintenance + FastRPC signal
 _CROSSING_OVERHEAD_S = 30e-6
+
+
+def crossing_for_bytes(device: Device, nbytes: int) -> float:
+    """Cost of moving ``nbytes`` across the CPU/NPU rpcmem boundary.
+
+    One cache clean/invalidate pair plus the copy at DRAM bandwidth —
+    the unit charge behind both per-op fallback crossings and the
+    scheduler's mid-request stage migrations.
+    """
+    if nbytes < 0:
+        raise EngineError(f"crossing bytes must be >= 0, got {nbytes}")
+    return _CROSSING_OVERHEAD_S + nbytes / (device.cpu.dram_read_gbps * 1e9)
 
 
 @dataclass(frozen=True)
@@ -118,9 +131,28 @@ class PlacementPlan:
 
     ops: List[PlacedOp]
 
+    def boundaries(self) -> List[PlacedOp]:
+        """The ops whose *device sequence* changes relative to the
+        previous op (activations start CPU-side).
+
+        This is the authoritative boundary walk: it derives crossings
+        from the device assignments alone, so a run of consecutive
+        same-device ops contributes at most one clean/invalidate pair at
+        its head — even if stale per-op ``crossing_before`` flags on a
+        hand-assembled plan claim otherwise (the double-count bug: one
+        NPU op followed by two CPU ops each flagged as crossing).
+        """
+        out: List[PlacedOp] = []
+        previous_device = "cpu"  # tokens/embeddings start on the CPU side
+        for placed in self.ops:
+            if placed.device != previous_device:
+                out.append(placed)
+            previous_device = placed.device
+        return out
+
     @property
     def n_crossings(self) -> int:
-        return sum(1 for p in self.ops if p.crossing_before)
+        return len(self.boundaries())
 
     def device_of(self, name: str) -> str:
         for placed in self.ops:
@@ -130,13 +162,8 @@ class PlacementPlan:
 
     def crossing_seconds(self, device: Device) -> float:
         """Time spent moving activations across the CPU/NPU boundary."""
-        total = 0.0
-        for placed in self.ops:
-            if placed.crossing_before:
-                copy = placed.op.activation_bytes \
-                    / (device.cpu.dram_read_gbps * 1e9)
-                total += _CROSSING_OVERHEAD_S + copy
-        return total
+        return sum(crossing_for_bytes(device, p.op.activation_bytes)
+                   for p in self.boundaries())
 
     def cpu_op_seconds(self, device: Device) -> float:
         """Compute time of the CPU-resident ops (flops-bound estimate)."""

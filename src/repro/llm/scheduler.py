@@ -39,7 +39,7 @@ from ..errors import (
     SessionAbortError,
     TransientFaultError,
 )
-from ..npu.power_mgmt import THROTTLE_LADDER
+from ..npu.power_mgmt import governor_level
 from ..sim import SimClock
 from ..obs import energy as obs_energy
 from ..obs import metrics as obs_metrics
@@ -49,19 +49,30 @@ from ..obs.slo import SLOTracker
 from ..resilience.faults import FaultInjector, FaultPlan, FaultRecord
 from ..resilience.recovery import RetryPolicy
 from .block_pool import PagedKVCache
+from .dispatch import BackendSelector
 from .engine import GenerationResult, InferenceEngine
+from .placement import crossing_for_bytes
 from .sampler import Sampler
 
-__all__ = ["CandidateOutput", "ScheduledGeneration", "WavePlan",
-           "plan_waves", "ContinuousBatchingScheduler"]
+__all__ = ["CandidateOutput", "PromptAdmission", "ScheduledGeneration",
+           "WavePlan", "plan_waves", "ContinuousBatchingScheduler"]
 
 
-def _governor_level(name: str) -> int:
-    """Rung of ``name`` on the throttle ladder (-1 if off-ladder)."""
-    try:
-        return THROTTLE_LADDER.index(name)
-    except ValueError:
-        return -1
+@dataclass(frozen=True)
+class PromptAdmission:
+    """One extra prompt admitted into a running ``generate`` call.
+
+    Chunked prefill makes prompt processing schedulable, so a run can
+    accept new requests mid-decode: from ``at_step`` on, the scheduler
+    forwards one prompt chunk per decode iteration into a free slot,
+    then admits ``n_candidates`` continuations exactly like the primary
+    prompt's.  Candidate ids continue after the previous request's.
+    """
+
+    prompt: Sequence[int]
+    n_candidates: int
+    max_new_tokens: int
+    at_step: int = 0
 
 
 @dataclass
@@ -75,6 +86,7 @@ class CandidateOutput:
     finished_step: int
     finish_reason: str  # "eos" or "length"
     joules: float = 0.0  # decode/rebuild energy attributed to this candidate
+    request_id: int = 0  # prompt the candidate continues (0 = primary)
 
 
 @dataclass
@@ -102,6 +114,13 @@ class ScheduledGeneration(GenerationResult):
     prefill_joules: float = 0.0
     idle_joules: float = 0.0
     wave_joules: Dict[int, float] = field(default_factory=dict)
+    # stage-level dispatch + chunked prefill (zero/empty when the
+    # dispatcher and chunking are off — the bitwise-no-op default)
+    n_prefill_chunks: int = 0
+    n_prompt_admissions: int = 0
+    backend_steps: List[Tuple[int, str]] = field(default_factory=list)
+    n_backend_switches: int = 0
+    migration_seconds: float = 0.0
 
     @property
     def mean_live_batch(self) -> float:
@@ -176,10 +195,28 @@ class _LiveCandidate:
     budget: int
     admitted_step: int
     admitted_sim: float = 0.0
+    request_id: int = 0
 
     @property
     def last_token(self) -> int:
         return self.tokens[-1]
+
+
+@dataclass
+class _Request:
+    """One prompt's serving state inside a scheduler run."""
+
+    request_id: int
+    prompt: List[int]
+    n_candidates: int
+    budgets: List[int]
+    first_candidate: int  # global id of this request's first candidate
+    at_step: int = 0
+    anchor: Optional[object] = None       # prompt snapshot once prefilled
+    last_logits: Optional[np.ndarray] = None
+    prefill_slot: Optional[int] = None    # slot an in-flight prefill holds
+    prefilled: int = 0                    # prompt tokens forwarded so far
+    next_local: int = 0                   # candidates admitted so far
 
 
 class ContinuousBatchingScheduler:
@@ -208,7 +245,10 @@ class ContinuousBatchingScheduler:
                  fault_plan: Optional[FaultPlan] = None,
                  deadline_seconds: Optional[float] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 clock: Optional[SimClock] = None
+                 clock: Optional[SimClock] = None,
+                 prefill_chunk: Optional[int] = None,
+                 dispatch: Optional[BackendSelector] = None,
+                 admissions: Optional[Sequence[PromptAdmission]] = None
                  ) -> ScheduledGeneration:
         """Decode ``n_candidates`` continuations, backfilling freed slots.
 
@@ -236,6 +276,23 @@ class ContinuousBatchingScheduler:
         ``sim_seconds`` and deadline are measured relative to the
         clock's reading at entry, so a fresh default clock — the
         existing single-run path — is bitwise unchanged.
+
+        ``prefill_chunk`` enables chunked prefill: the prompt forwards
+        through TCM-sized windows of at most that many tokens, each a
+        separately clocked, SLO-tracked, fault-injectable step.  RoPE
+        positions continue across chunks, so the decoded output is
+        bitwise identical to monolithic prefill (the ``prefill.chunked``
+        oracle).  ``dispatch`` arms a stage-level
+        :class:`~repro.llm.dispatch.BackendSelector`: each prefill chunk
+        and decode step runs on the backend with the lowest modeled
+        latency for its (stage, size, governor), off-NPU time scaling
+        the NPU-simulated step by the modeled ratio; a backend change
+        pays an rpcmem boundary crossing for the live KV state.  A
+        selector forced to ``"npu"`` (with chunking off) is a bitwise
+        no-op.  ``admissions`` queues extra prompts that enter the run
+        at their ``at_step`` as chunk-interleaved prefill work, then
+        decode as additional candidates — mixed prefill/decode
+        continuous batching.
         """
         engine = self.engine
         if n_candidates <= 0:
@@ -250,6 +307,34 @@ class ContinuousBatchingScheduler:
                 f"prompt {len(prompt)} + {max_new_tokens} new tokens exceed "
                 f"context {engine.max_context}")
         budgets = self._budgets(n_candidates, max_new_tokens, length_schedule)
+        if prefill_chunk is not None and prefill_chunk <= 0:
+            raise EngineError(
+                f"prefill_chunk must be positive, got {prefill_chunk}")
+        admitted = list(admissions) if admissions is not None else []
+        for admission in admitted:
+            extra = list(admission.prompt)
+            if not extra:
+                raise EngineError("admitted prompts must be non-empty")
+            if admission.n_candidates <= 0:
+                raise EngineError(
+                    "admitted candidate count must be positive, got "
+                    f"{admission.n_candidates}")
+            if admission.max_new_tokens <= 0:
+                raise EngineError(
+                    "admitted max_new_tokens must be positive, got "
+                    f"{admission.max_new_tokens}")
+            if admission.at_step < 0:
+                raise EngineError(
+                    f"admission at_step must be >= 0, got {admission.at_step}")
+            if len(extra) + admission.max_new_tokens > engine.max_context:
+                raise EngineError(
+                    f"admitted prompt {len(extra)} + "
+                    f"{admission.max_new_tokens} new tokens exceed context "
+                    f"{engine.max_context}")
+        if dispatch is not None and dispatch.config != engine.model.config:
+            raise EngineError(
+                "dispatch selector was built for a different model config "
+                "than the engine's")
         sampler = sampler if sampler is not None else Sampler(temperature=0.8)
         injector: Optional[FaultInjector] = None
         if fault_plan is not None and len(fault_plan) > 0:
@@ -273,7 +358,8 @@ class ContinuousBatchingScheduler:
                                 max_new_tokens=max_new_tokens):
                 self._run(engine, cache, clock, prompt, n_candidates,
                           budgets, sampler, eos_id, injector, policy,
-                          deadline_seconds, base_governor, result, slo)
+                          deadline_seconds, base_governor, result, slo,
+                          prefill_chunk, dispatch, admitted)
         finally:
             if injector is not None:
                 cache.pool.fault_injector = None
@@ -288,78 +374,193 @@ class ContinuousBatchingScheduler:
              budgets: List[int], sampler: Sampler, eos_id: Optional[int],
              injector: Optional[FaultInjector], policy: RetryPolicy,
              deadline_seconds: Optional[float], base_governor,
-             result: ScheduledGeneration, slo: SLOTracker) -> None:
+             result: ScheduledGeneration, slo: SLOTracker,
+             prefill_chunk: Optional[int],
+             selector: Optional[BackendSelector],
+             admissions: Sequence[PromptAdmission]) -> None:
         tlog = obs_timeline.get_event_log()
         accountant = obs_energy.EnergyAccountant()
         batch = engine.batch
+        config = engine.model.config
         # An injected clock may already carry earlier requests' time;
         # deadline and sim_seconds are relative to this run's start.
         run_start = clock.total_seconds
+
+        requests: List[_Request] = [
+            _Request(request_id=0, prompt=list(prompt),
+                     n_candidates=n_candidates, budgets=budgets,
+                     first_candidate=0)]
+        next_cid = n_candidates
+        for i, admission in enumerate(admissions):
+            requests.append(_Request(
+                request_id=i + 1, prompt=list(admission.prompt),
+                n_candidates=admission.n_candidates,
+                budgets=[admission.max_new_tokens] * admission.n_candidates,
+                first_candidate=next_cid, at_step=admission.at_step))
+            next_cid += admission.n_candidates
+        result.n_prompt_admissions = len(requests) - 1
+
         if tlog.enabled:
-            for cid in range(n_candidates):
-                tlog.emit("queue", run_start, request_id=cid,
-                          wave=cid // batch)
-        wall = time.perf_counter()
-        last_logits, prefill_cost = engine.prefill(prompt, seq=0)
-        prefill_seconds = engine._step_seconds(prefill_cost,
-                                               time.perf_counter() - wall)
-        clock.advance(prefill_seconds)
-        prefill_energy = engine.step_energy(prefill_cost, prefill_seconds)
-        accountant.charge_prefill(prefill_energy)
-        if tlog.enabled:
-            tlog.emit("prefill", clock.total_seconds,
-                      seconds=prefill_seconds, n_tokens=len(prompt),
-                      joules=prefill_energy.joules)
-        result.prefill_cost = prefill_cost
-        anchor = cache.snapshot_sequence(0)
-        # slot 0 still holds the prompt tokens; the first admission
-        # restores the anchor over it, which is a refcount no-op
-        cache.free_sequence(0)
-        if injector is not None:
-            # armed only once the serving loop (and its recovery paths)
-            # owns the pool: prefill is the run's precondition, not a
-            # recoverable step
-            cache.pool.fault_injector = injector
-            injector.clock = clock
+            for request in requests:
+                for local in range(request.n_candidates):
+                    cid = request.first_candidate + local
+                    tlog.emit("queue", run_start, request_id=cid,
+                              wave=cid // batch)
 
         free_slots = list(range(engine.batch))
         live: Dict[int, _LiveCandidate] = {}
         finished: List[CandidateOutput] = []
-        next_id = 0
         step = 0
         admitting = True
         throttle_restore_step: Optional[int] = None
+        # the simulated NPU is the reference backend: all costs come out
+        # of the TimingModel's NPU path, and the dispatcher scales them
+        prev_backend = "npu"
+
+        def migrate(decision, stage: str) -> None:
+            # moving a stage between backends drags the live KV state
+            # across the rpcmem boundary (clean/invalidate + DRAM copy)
+            nonlocal prev_backend
+            if decision.backend == prev_backend:
+                return
+            tokens_cached = sum(cache.sequence_length(s)
+                                for s in range(batch))
+            kv_bytes = tokens_cached * config.n_layers * 2 * config.kv_dim * 2
+            seconds = crossing_for_bytes(selector.device, kv_bytes)
+            clock.advance(seconds)
+            idle = engine.energy_model.idle_energy(seconds)
+            accountant.charge_idle(idle)
+            result.migration_seconds += seconds
+            result.n_backend_switches += 1
+            if tlog.enabled:
+                tlog.emit("backend_switch", clock.total_seconds, step=step,
+                          stage=stage, backend_from=prev_backend,
+                          backend_to=decision.backend,
+                          crossing_seconds=seconds, kv_bytes=kv_bytes,
+                          joules=idle.joules)
+            prev_backend = decision.backend
+
+        def forward_chunk(request: _Request, recover: bool) -> bool:
+            # one prompt window through the model; True means the run
+            # made forward progress (a chunk landed, or an eviction
+            # freed pool space for the retry)
+            slot = request.prefill_slot
+            start = request.prefilled
+            end = len(request.prompt) if prefill_chunk is None \
+                else min(start + prefill_chunk, len(request.prompt))
+            chunk = request.prompt[start:end]
+            decision = None
+            if selector is not None:
+                decision = selector.select("prefill", len(chunk),
+                                           engine.governor.name)
+                migrate(decision, "prefill")
+            try:
+                wall = time.perf_counter()
+                logits_vec, cost = engine.prefill_chunk(chunk, seq=slot)
+            except KVPoolExhausted:
+                if not recover:
+                    raise
+                # roll the partial prefill back; eviction frees pool
+                # space so the next service round restarts from scratch
+                cache.free_sequence(slot)
+                request.prefilled = 0
+                request.last_logits = None
+                if not evict_one():
+                    request.prefill_slot = None
+                    free_slots.append(slot)
+                    free_slots.sort()
+                    return False
+                return True
+            seconds = engine._step_seconds(cost, time.perf_counter() - wall)
+            if decision is not None and decision.backend != "npu":
+                seconds *= decision.npu_ratio
+            clock.advance(seconds)
+            if decision is not None and decision.backend != "npu":
+                breakdown = engine.offloaded_step_energy(seconds)
+            else:
+                breakdown = engine.step_energy(cost, seconds)
+            accountant.charge_prefill(breakdown)
+            slo.observe_prefill_chunk(seconds)
+            result.n_prefill_chunks += 1
+            request.prefilled = end
+            request.last_logits = logits_vec
+            if request.request_id == 0:
+                result.prefill_cost = cost
+            if tlog.enabled:
+                attrs = dict(seconds=seconds, n_tokens=len(chunk),
+                             offset=start, request=request.request_id,
+                             joules=breakdown.joules)
+                if decision is not None:
+                    attrs["backend"] = decision.backend
+                tlog.emit("prefill_chunk", clock.total_seconds, step=step,
+                          **attrs)
+            if request.prefilled >= len(request.prompt):
+                request.anchor = cache.snapshot_sequence(slot)
+                cache.free_sequence(slot)
+                request.prefill_slot = None
+                free_slots.append(slot)
+                free_slots.sort()
+            return True
+
+        def pending_requests() -> bool:
+            return any(r.anchor is None or r.next_local < r.n_candidates
+                       for r in requests)
+
+        def service_prefills(idle: bool = False) -> bool:
+            # at most one chunk per decode step: prefill interleaves
+            # with decode instead of stalling it
+            if not admitting:
+                return False
+            for request in requests:
+                if request.anchor is not None:
+                    continue
+                if request.at_step > step and not idle:
+                    continue
+                if request.prefill_slot is None:
+                    if not free_slots:
+                        continue
+                    request.prefill_slot = free_slots.pop(0)
+                return forward_chunk(request, recover=True)
+            return False
 
         def admit() -> None:
-            nonlocal next_id
-            while admitting and free_slots and next_id < n_candidates:
-                slot = free_slots.pop(0)
-                with obs_trace.span("scheduler.admit",
-                                    category="scheduler", slot=slot,
-                                    candidate=next_id, step=step):
-                    cache.restore_sequence(slot, anchor)
-                    token = int(sampler.sample(last_logits))
-                candidate = _LiveCandidate(
-                    candidate_id=next_id, slot=slot, tokens=[token],
-                    budget=budgets[next_id], admitted_step=step,
-                    admitted_sim=clock.total_seconds)
-                next_id += 1
-                result.n_admissions += 1
-                self._admissions.inc()
-                if tlog.enabled:
-                    wave = candidate.candidate_id // batch
-                    tlog.emit("admit", clock.total_seconds,
-                              request_id=candidate.candidate_id,
-                              step=step, slot=slot)
-                    tlog.emit("wave_assign", clock.total_seconds,
-                              request_id=candidate.candidate_id,
-                              step=step, wave=wave)
-                if ((eos_id is not None and token == eos_id)
-                        or candidate.budget == 1):
-                    retire(candidate, "eos" if eos_id is not None
-                           and token == eos_id else "length")
-                else:
-                    live[slot] = candidate
+            for request in requests:
+                if not (admitting and free_slots):
+                    break
+                if request.anchor is None:
+                    continue
+                while (admitting and free_slots
+                       and request.next_local < request.n_candidates):
+                    slot = free_slots.pop(0)
+                    cid = request.first_candidate + request.next_local
+                    with obs_trace.span("scheduler.admit",
+                                        category="scheduler", slot=slot,
+                                        candidate=cid, step=step):
+                        cache.restore_sequence(slot, request.anchor)
+                        token = int(sampler.sample(request.last_logits))
+                    candidate = _LiveCandidate(
+                        candidate_id=cid, slot=slot, tokens=[token],
+                        budget=request.budgets[request.next_local],
+                        admitted_step=step,
+                        admitted_sim=clock.total_seconds,
+                        request_id=request.request_id)
+                    request.next_local += 1
+                    result.n_admissions += 1
+                    self._admissions.inc()
+                    if tlog.enabled:
+                        wave = candidate.candidate_id // batch
+                        tlog.emit("admit", clock.total_seconds,
+                                  request_id=candidate.candidate_id,
+                                  step=step, slot=slot)
+                        tlog.emit("wave_assign", clock.total_seconds,
+                                  request_id=candidate.candidate_id,
+                                  step=step, wave=wave)
+                    if ((eos_id is not None and token == eos_id)
+                            or candidate.budget == 1):
+                        retire(candidate, "eos" if eos_id is not None
+                               and token == eos_id else "length")
+                    else:
+                        live[slot] = candidate
 
         def retire(candidate: _LiveCandidate, reason: str) -> None:
             cache.free_sequence(candidate.slot)
@@ -371,7 +572,7 @@ class ContinuousBatchingScheduler:
                 slot=candidate.slot, tokens=candidate.tokens,
                 admitted_step=candidate.admitted_step,
                 finished_step=step, finish_reason=reason,
-                joules=joules))
+                joules=joules, request_id=candidate.request_id))
             self._retired.inc()
             latency = clock.total_seconds - candidate.admitted_sim
             slo.observe_candidate(candidate.candidate_id, latency)
@@ -395,7 +596,8 @@ class ContinuousBatchingScheduler:
                                     candidate=candidate.candidate_id,
                                     tokens=len(prefix), step=step):
                     cache.free_sequence(slot)
-                    cache.restore_sequence(slot, anchor)
+                    cache.restore_sequence(
+                        slot, requests[candidate.request_id].anchor)
                     if prefix:
                         w = time.perf_counter()
                         cost = engine.rebuild_sequence(slot, prefix)
@@ -417,6 +619,15 @@ class ContinuousBatchingScheduler:
                               request_id=candidate.candidate_id,
                               step=step, tokens=len(prefix),
                               joules=rebuild_joules)
+            # in-flight partial prefills lost their KV too: restart them
+            # from scratch on the next service round
+            for request in requests:
+                if (request.anchor is None
+                        and request.prefill_slot is not None
+                        and request.prefilled > 0):
+                    cache.free_sequence(request.prefill_slot)
+                    request.prefilled = 0
+                    request.last_logits = None
 
         def evict_one() -> bool:
             if not live:
@@ -462,8 +673,62 @@ class ContinuousBatchingScheduler:
                           retry_kind=kind, backoff_seconds=seconds,
                           joules=idle.joules)
 
+        if prefill_chunk is None:
+            wall = time.perf_counter()
+            last_logits, prefill_cost = engine.prefill(prompt, seq=0)
+            prefill_seconds = engine._step_seconds(
+                prefill_cost, time.perf_counter() - wall)
+            prefill_offloaded = False
+            if selector is not None:
+                decision = selector.select("prefill", len(prompt),
+                                           engine.governor.name)
+                migrate(decision, "prefill")
+                if decision.backend != "npu":
+                    prefill_seconds *= decision.npu_ratio
+                    prefill_offloaded = True
+            clock.advance(prefill_seconds)
+            prefill_energy = (
+                engine.offloaded_step_energy(prefill_seconds)
+                if prefill_offloaded
+                else engine.step_energy(prefill_cost, prefill_seconds))
+            accountant.charge_prefill(prefill_energy)
+            if tlog.enabled:
+                attrs = dict(seconds=prefill_seconds, n_tokens=len(prompt),
+                             joules=prefill_energy.joules)
+                if selector is not None:
+                    attrs["backend"] = prev_backend
+                tlog.emit("prefill", clock.total_seconds, **attrs)
+            result.prefill_cost = prefill_cost
+            requests[0].last_logits = last_logits
+            requests[0].anchor = cache.snapshot_sequence(0)
+            # slot 0 still holds the prompt tokens; the first admission
+            # restores the anchor over it, which is a refcount no-op
+            cache.free_sequence(0)
+        else:
+            # chunked main prefill: the primary prompt forwards through
+            # TCM-sized windows before the run's first decode step
+            requests[0].prefill_slot = free_slots.pop(0)
+            while requests[0].anchor is None:
+                forward_chunk(requests[0], recover=False)
+        if injector is not None:
+            # armed only once the serving loop (and its recovery paths)
+            # owns the pool: the primary prefill is the run's
+            # precondition, not a recoverable step
+            cache.pool.fault_injector = injector
+            injector.clock = clock
+
         admit()
-        while live:
+        while live or (admitting and pending_requests()):
+            if not live:
+                # nothing decodable: the only useful work is servicing a
+                # pending prompt (ignore at_step gates — the decode
+                # timeline they were relative to has drained)
+                progressed = service_prefills(idle=True)
+                admit()
+                if not live:
+                    if not progressed:
+                        break
+                    continue
             arm_abort = arm_dma = arm_alloc = 0
             if injector is not None:
                 if (throttle_restore_step is not None
@@ -474,7 +739,7 @@ class ContinuousBatchingScheduler:
                     if tlog.enabled:
                         tlog.emit("throttle", clock.total_seconds,
                                   step=step, governor=base_governor.name,
-                                  governor_level=_governor_level(
+                                  governor_level=governor_level(
                                       base_governor.name),
                                   restored=True)
                 for event in injector.step_events(step):
@@ -493,7 +758,7 @@ class ContinuousBatchingScheduler:
                         if tlog.enabled:
                             tlog.emit("throttle", clock.total_seconds,
                                       step=step, governor=event.governor,
-                                      governor_level=_governor_level(
+                                      governor_level=governor_level(
                                           event.governor),
                                       restored=False)
                     elif event.kind == "session_abort":
@@ -504,6 +769,7 @@ class ContinuousBatchingScheduler:
                         arm_alloc += 1
             attempt = 0
             needs_rebuild = False
+            step_offloaded = False
             while live:
                 try:
                     if arm_abort:
@@ -536,6 +802,13 @@ class ContinuousBatchingScheduler:
                         logits, cost = engine.decode_step(tokens, slots)
                     step_seconds = engine._step_seconds(
                         cost, time.perf_counter() - wall)
+                    if selector is not None:
+                        decision = selector.select("decode", len(slots),
+                                                   engine.governor.name)
+                        migrate(decision, "decode")
+                        if decision.backend != "npu":
+                            step_seconds *= decision.npu_ratio
+                            step_offloaded = True
                     clock.advance(step_seconds)
                     break
                 except SessionAbortError:
@@ -561,21 +834,29 @@ class ContinuousBatchingScheduler:
                         break
                     needs_rebuild = True
             if not live:
+                service_prefills()
                 admit()
                 continue
             result.decode_costs.append(cost)
             result.live_batch_per_step.append(len(slots))
+            if selector is not None:
+                result.backend_steps.append((step, prev_backend))
             live_ids = [live[s].candidate_id for s in slots if s in live]
-            step_energy = engine.step_energy(cost, step_seconds)
+            step_energy = (engine.offloaded_step_energy(step_seconds)
+                           if step_offloaded
+                           else engine.step_energy(cost, step_seconds))
             accountant.charge_step(step_energy, request_ids=live_ids,
                                    waves=[cid // batch for cid in live_ids])
             if tlog.enabled:
+                attrs = dict(seconds=step_seconds, live_batch=len(slots),
+                             kv_blocks=cache.pool.blocks_in_use,
+                             governor_level=governor_level(
+                                 engine.governor.name),
+                             joules=step_energy.joules)
+                if selector is not None:
+                    attrs["backend"] = prev_backend
                 tlog.emit("decode_step", clock.total_seconds, step=step,
-                          seconds=step_seconds, live_batch=len(slots),
-                          kv_blocks=cache.pool.blocks_in_use,
-                          governor_level=_governor_level(
-                              engine.governor.name),
-                          joules=step_energy.joules)
+                          **attrs)
             slo.observe_step(step_seconds, live_ids)
             step += 1
             next_tokens = sampler.sample_batch(logits)
@@ -601,9 +882,14 @@ class ContinuousBatchingScheduler:
                                     sim_seconds=clock.total_seconds,
                                     deadline=deadline_seconds):
                     degrade("deadline")
+            service_prefills()
             admit()
 
-        cache.release_snapshot(anchor)
+        for request in requests:
+            if request.anchor is not None:
+                cache.release_snapshot(request.anchor)
+            elif request.prefill_slot is not None:
+                cache.free_sequence(request.prefill_slot)
         result.n_steps = step
         result.peak_kv_bytes = cache.pool.peak_bytes
         result.cow_copies = cache.pool.cow_copies

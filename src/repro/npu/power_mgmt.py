@@ -17,7 +17,7 @@ from ..errors import NPUError
 from .timing import NPUGenerationTiming
 
 __all__ = ["PowerGovernor", "GOVERNORS", "THROTTLE_LADDER", "apply_governor",
-           "downgrade", "ThermalState"]
+           "downgrade", "governor_level", "ThermalState"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,18 @@ GOVERNORS: Dict[str, PowerGovernor] = {
 #: DVFS downgrade order under thermal pressure (§7.2.3): sustained load
 #: walks the session down this ladder one rung per thermal event.
 THROTTLE_LADDER = ("performance", "balanced", "efficiency")
+
+
+def governor_level(governor: "PowerGovernor | str") -> int:
+    """Rung of a governor on :data:`THROTTLE_LADDER` (0 = performance).
+
+    Off-ladder governors read as -1 so telemetry gauges stay numeric.
+    """
+    name = governor.name if isinstance(governor, PowerGovernor) else governor
+    try:
+        return THROTTLE_LADDER.index(name)
+    except ValueError:
+        return -1
 
 
 def downgrade(governor: "PowerGovernor | str") -> PowerGovernor:

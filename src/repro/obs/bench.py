@@ -265,6 +265,53 @@ def _bench_waves_n16(ctx: BenchContext) -> BenchRecord:
                         length_schedule=[3, 12, 5, 8])
 
 
+@bench_scenario("mixed.prefill_decode",
+                "long-prompt admission chunk-interleaved into a waved "
+                "Best-of-16 decode, stage dispatch live")
+def _bench_mixed_prefill_decode(ctx: BenchContext) -> BenchRecord:
+    from ..llm import (
+        BackendSelector,
+        ContinuousBatchingScheduler,
+        PromptAdmission,
+    )
+    from ..llm.sampler import Sampler
+
+    engine = _tiny_engine(ctx, batch=4, max_context=64, kv_backend="paged")
+    scheduler = ContinuousBatchingScheduler(engine)
+    late_prompt = [(i % 500) + 1 for i in range(20)]
+    result = scheduler.generate(
+        _BENCH_PROMPT, n_candidates=16, max_new_tokens=12,
+        sampler=Sampler(temperature=0.8, seed=ctx.seed),
+        length_schedule=[3, 12, 5, 8], prefill_chunk=4,
+        dispatch=BackendSelector(ctx.device, engine.model.config),
+        admissions=[PromptAdmission(late_prompt, n_candidates=4,
+                                    max_new_tokens=8, at_step=6)])
+    tokens = result.total_generated_tokens
+    metrics = {
+        "sim_seconds": result.sim_seconds,
+        "tokens_per_second": tokens / result.sim_seconds,
+        "tokens_per_joule": (tokens / result.joules
+                             if result.joules > 0.0 else 0.0),
+        "mean_live_batch": result.mean_live_batch,
+        "peak_kv_bytes": float(result.peak_kv_bytes),
+        "decode_steps": float(result.n_steps),
+        "prefill_chunks": float(result.n_prefill_chunks),
+        "backend_switches": float(result.n_backend_switches),
+        "migration_seconds": result.migration_seconds,
+        "prefill_joules": result.prefill_joules,
+    }
+    metrics.update(_slo_metrics(ctx))
+    summary = slo_summary(ctx.registry)
+    chunk = summary.get("repro.slo.prefill_chunk_seconds")
+    if chunk is not None:
+        metrics["prefill_chunk_p99_seconds"] = chunk["p99"]
+    return BenchRecord("mixed.prefill_decode", metrics=metrics, info={
+        "batch": 4, "n_candidates": 16, "prefill_chunk": 4,
+        "admitted_prompt_tokens": len(late_prompt),
+        "admitted_candidates": 4, "admitted_at_step": 6,
+        "generated_tokens": tokens})
+
+
 @bench_scenario("chaos.waves",
                 "Best-of-8 under a fixed fault plan (abort+dma+alloc+"
                 "throttle)")

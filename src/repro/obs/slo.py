@@ -101,6 +101,9 @@ class SLOTracker:
         self._candidate = self._histogram(
             "repro.slo.candidate_latency_seconds")
         self._waves: Dict[int, Histogram] = {}
+        # created lazily: runs without chunked prefill keep their
+        # metrics snapshot free of the instrument
+        self._prefill_chunk: Optional[Histogram] = None
 
     def _histogram(self, name: str) -> Histogram:
         return self._registry.histogram(name, self._buckets)
@@ -134,6 +137,14 @@ class SLOTracker:
                           latency_seconds: float) -> None:
         """Record one candidate's admission-to-retire simulated latency."""
         self._candidate.observe(latency_seconds)
+
+    def observe_prefill_chunk(self, sim_seconds: float) -> None:
+        """Record the simulated latency of one prefill chunk — the
+        prefill SLO of a prompt admitted into a running decode."""
+        if self._prefill_chunk is None:
+            self._prefill_chunk = self._histogram(
+                "repro.slo.prefill_chunk_seconds")
+        self._prefill_chunk.observe(sim_seconds)
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, Dict[str, float]]:

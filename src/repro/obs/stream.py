@@ -241,6 +241,9 @@ def stream_from_log(log: EventLog,
     * ``complete`` -> counter ``completions``; sample
       ``candidate_latency_seconds`` when the event carries
       ``latency_seconds``;
+    * ``prefill_chunk`` -> counter ``prefill_chunks``, sample
+      ``prefill_chunk_seconds`` and its ``joules``;
+      ``backend_switch`` -> counter ``backend_switches``;
     * ``shed`` -> counter ``sheds`` (fleet admission control dropped
       the request); ``dispatch`` -> counter ``dispatches`` plus sample
       ``queue_wait_seconds`` when the event carries ``wait_seconds``;
@@ -294,6 +297,17 @@ def stream_from_log(log: EventLog,
             joules = attrs.get("joules")
             if joules:
                 stream.record_counter("joules", t, float(joules))
+        elif event.kind == "prefill_chunk":
+            stream.record_counter("prefill_chunks", t)
+            seconds = attrs.get("seconds")
+            if seconds is not None:
+                stream.record_sample("prefill_chunk_seconds", t,
+                                     float(seconds))
+            joules = attrs.get("joules")
+            if joules:
+                stream.record_counter("joules", t, float(joules))
+        elif event.kind == "backend_switch":
+            stream.record_counter("backend_switches", t)
         elif event.kind == "complete":
             stream.record_counter("completions", t)
             latency = attrs.get("latency_seconds")

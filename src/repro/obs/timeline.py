@@ -52,12 +52,17 @@ __all__ = [
 #: exhausted), ``hedge`` (a second copy dispatched, or the losing leg
 #: cancelled first-completion-wins), and ``breaker_open``/
 #: ``breaker_close`` (a device's circuit breaker tripped / recovered).
+#: Stage-level dispatch adds ``prefill_chunk`` (one chunk of a chunked
+#: or admitted prompt forwarded) and ``backend_switch`` (the stage
+#: dispatcher migrated between CPU/GPU/NPU, paying an rpcmem crossing).
 EVENT_KINDS = (
     "queue",
     "admit",
     "wave_assign",
     "prefill",
+    "prefill_chunk",
     "decode_step",
+    "backend_switch",
     "fault",
     "retry",
     "rebuild",

@@ -7,7 +7,7 @@
 * :mod:`repro.perf.baselines` — Adreno OpenCL and QNN FP16 models (Fig. 13).
 """
 
-from .baselines import AdrenoGPUModel, QNNReferenceModel
+from .baselines import AdrenoGPUModel, CPUBaselineModel, QNNReferenceModel
 from .latency import (
     PREFILL_EFFICIENCY,
     DecodePerformanceModel,
@@ -21,6 +21,7 @@ from .power import PowerBudget, PowerModel, PowerSample
 
 __all__ = [
     "AdrenoGPUModel",
+    "CPUBaselineModel",
     "QNNReferenceModel",
     "PREFILL_EFFICIENCY",
     "DecodePerformanceModel",

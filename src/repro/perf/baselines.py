@@ -26,7 +26,69 @@ from ..errors import EngineError
 from ..llm.config import ModelConfig
 from ..npu.soc import Device
 
-__all__ = ["AdrenoGPUModel", "QNNReferenceModel"]
+__all__ = ["AdrenoGPUModel", "CPUBaselineModel", "QNNReferenceModel"]
+
+
+@dataclass(frozen=True)
+class CPUBaselineModel:
+    """llama.cpp CPU backend: Q4 GEMV on the big cores.
+
+    The third corner of the Fig. 13 crossover: at batch 1 the CPU
+    streams the same packed Q4 weights as the GPU but from its own
+    DRAM controller, so small-batch decode is competitive; the
+    per-core ALU rate saturates within a few batch lanes, so the curve
+    falls behind both the GPU and the NPU as batch grows.  Modelled
+    directly on :meth:`~repro.npu.soc.CPUModel.gemm_seconds` (max of
+    flops time and weight streaming per projection), which keeps this
+    model consistent with the CPU-resident lm_head charge the NPU
+    system already pays.
+    """
+
+    config: ModelConfig
+    device: Device
+
+    def decode_latency(self, batch: int, context: int = 1024) -> float:
+        """Per-step decode latency: per-projection GEMMs + attention."""
+        if batch <= 0:
+            raise EngineError(f"batch must be positive, got {batch}")
+        cpu = self.device.cpu
+        shapes = self.config.projection_shapes()
+        layer = 0.0
+        for name, (k, n) in shapes.items():
+            bits = 8.5 if name == "w_down" else 4.5
+            layer += cpu.gemm_seconds(batch, k, n,
+                                      weight_bytes=int(k * n * bits / 8))
+        total = self.config.n_layers * layer
+        # attention: FLOPs at the CPU rate plus streaming the KV cache
+        rate = cpu.gflops_per_core * cpu.max_cores * 1e9
+        attn_flops = 2.0 * batch * context * self.config.q_dim * 2
+        kv_bytes = batch * 2 * context * self.config.kv_dim * 2
+        total += self.config.n_layers * max(
+            attn_flops / rate, kv_bytes / (cpu.dram_read_gbps * 1e9))
+        total += cpu.gemm_seconds(batch, self.config.hidden_dim,
+                                  self.config.vocab_size,
+                                  weight_bytes=self.config.lm_head_bytes())
+        return total
+
+    def decode_throughput(self, batch: int, context: int = 1024) -> float:
+        return batch / self.decode_latency(batch, context)
+
+    def prefill_latency(self, prompt_len: int) -> float:
+        """Compute-bound Q4 prefill on all big cores."""
+        if prompt_len <= 0:
+            raise EngineError(
+                f"prompt length must be positive, got {prompt_len}")
+        cpu = self.device.cpu
+        flops = 2.0 * prompt_len * (
+            self.config.param_count()
+            - self.config.vocab_size * self.config.hidden_dim)
+        compute = flops / (cpu.gflops_per_core * cpu.max_cores * 1e9)
+        stream = (self.config.npu_weight_bytes()
+                  / (cpu.dram_read_gbps * 1e9))
+        return max(compute, stream)
+
+    def prefill_throughput(self, prompt_len: int) -> float:
+        return prompt_len / self.prefill_latency(prompt_len)
 
 
 @dataclass(frozen=True)

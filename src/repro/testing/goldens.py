@@ -187,6 +187,31 @@ def _scheduler_chaos() -> Dict:
             "fault_kinds": fault_kinds}
 
 
+@_register("prefill_chunked", "json",
+           "chunked prefill + mid-run prompt admission scheduler trace")
+def _prefill_chunked() -> Dict:
+    from ..llm import (ContinuousBatchingScheduler, InferenceEngine,
+                       PromptAdmission, Sampler)
+
+    engine = InferenceEngine(_tiny_model(0), batch=4, max_context=48,
+                             kv_backend="paged")
+    scheduler = ContinuousBatchingScheduler(engine)
+    admission = PromptAdmission(prompt=[7, 7, 7, 2, 5, 1, 8, 8, 4, 3],
+                                n_candidates=3, max_new_tokens=6, at_step=2)
+    result = scheduler.generate(_PROMPT, n_candidates=6, max_new_tokens=10,
+                                sampler=Sampler(temperature=0.8, seed=11),
+                                prefill_chunk=3, admissions=[admission])
+    return {"prompt": _PROMPT,
+            "admitted_prompt": list(admission.prompt),
+            "sequences": result.sequences,
+            "n_steps": result.n_steps,
+            "n_prefill_chunks": result.n_prefill_chunks,
+            "n_prompt_admissions": result.n_prompt_admissions,
+            "candidate_request_ids": [c.request_id
+                                      for c in result.candidates],
+            "finish_reasons": [c.finish_reason for c in result.candidates]}
+
+
 @_register("speculative_greedy", "json",
            "greedy speculative decode trace (independent draft model)")
 def _speculative_greedy() -> Dict:

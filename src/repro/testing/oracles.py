@@ -591,6 +591,136 @@ class FaultNoopOracle(Oracle):
 
 
 @register_oracle
+class PrefillChunkedOracle(Oracle):
+    """Chunked prefill vs monolithic prefill: bitwise parity.
+
+    The stage-dispatch guarantee: splitting a prompt into TCM-sized
+    chunks — one covering chunk, an aligned divisor, or a ragged tail —
+    must not change a single bit.  Checked at two levels: the engine
+    (final-position logits and the reassembled KV pages of the prompt
+    sequence) and the continuous-batching scheduler (sampled sequences,
+    StepCosts and step count with ``prefill_chunk`` set versus the
+    monolithic default).
+    """
+
+    name = "prefill.chunked"
+    description = ("chunked vs monolithic prefill: bitwise-identical "
+                   "logits, KV pages and scheduled sequences")
+    SHRINK_MINS = {"batch": 1, "n_candidates": 1, "prompt_len": 1,
+                   "chunk": 1, "new_tokens": 1, "sampler_seed": 0}
+    SHRINK_RESETS = {"dtype": "fp16"}
+
+    def sample_config(self, rng: np.random.Generator) -> Config:
+        prompt_len = int(rng.integers(1, 13))
+        # cover the three chunking regimes: a single covering chunk,
+        # an aligned divisor, and a ragged tail
+        mode = int(rng.integers(3))
+        if mode == 0:
+            chunk = prompt_len + int(rng.integers(0, 4))
+        elif mode == 1:
+            divisors = [d for d in range(1, prompt_len + 1)
+                        if prompt_len % d == 0]
+            chunk = divisors[int(rng.integers(len(divisors)))]
+        else:
+            chunk = int(rng.integers(1, prompt_len + 1))
+        batch = int(rng.integers(1, 7))
+        return {
+            "dtype": ("fp16", "q8")[int(rng.integers(2))],
+            "batch": batch,
+            "n_candidates": int(rng.integers(batch, 13)),
+            "prompt_len": prompt_len,
+            "chunk": max(1, chunk),
+            "new_tokens": int(rng.integers(1, 11)),
+            "sampler_seed": int(rng.integers(0, 2**31)),
+        }
+
+    def normalize(self, config: Config) -> Config:
+        if int(config["n_candidates"]) < int(config["batch"]):
+            config["n_candidates"] = int(config["batch"])
+        return config
+
+    def _prompt(self, config: Config) -> List[int]:
+        return _random_prompt(
+            np.random.default_rng([int(config["sampler_seed"]),
+                                   int(config["prompt_len"])]),
+            int(config["prompt_len"]))
+
+    def _engine(self, config: Config, prompt: List[int]):
+        from ..llm import InferenceEngine
+        return InferenceEngine(
+            _tiny_model(0), batch=int(config["batch"]),
+            max_context=len(prompt) + int(config["new_tokens"]) + 1,
+            kv_backend="paged", kv_dtype=str(config["dtype"]))
+
+    def run(self, config: Config) -> OracleResult:
+        self._check_config(config)
+        from ..llm import ContinuousBatchingScheduler, Sampler
+
+        prompt = self._prompt(config)
+        chunk = int(config["chunk"])
+
+        # engine level: final logits and the prompt's KV pages
+        mono = self._engine(config, prompt)
+        mono_logits, _ = mono.prefill(prompt, seq=0)
+        chunked = self._engine(config, prompt)
+        chunk_logits = None
+        for start in range(0, len(prompt), chunk):
+            chunk_logits, _ = chunked.prefill_chunk(
+                prompt[start:start + chunk], seq=0)
+        logits_diff = diff_arrays(chunk_logits, mono_logits)
+        if not logits_diff.bitwise_equal:
+            return self.failed(
+                config, "abs",
+                "chunked prefill logits diverge from monolithic",
+                diff=logits_diff)
+        for layer in range(len(mono.cache)):
+            mono_k, mono_v = mono.cache[layer].view(0)
+            chunk_k, chunk_v = chunked.cache[layer].view(0)
+            for name, actual, expected in (("k", chunk_k, mono_k),
+                                           ("v", chunk_v, mono_v)):
+                kv_diff = diff_arrays(actual, expected)
+                if not kv_diff.bitwise_equal:
+                    return self.failed(
+                        config, "state",
+                        f"KV {name} pages diverge at layer {layer}",
+                        diff=kv_diff)
+
+        # scheduler level: sequences, costs and step count
+        def schedule(prefill_chunk):
+            engine = self._engine(config, prompt)
+            scheduler = ContinuousBatchingScheduler(engine)
+            return scheduler.generate(
+                prompt, n_candidates=int(config["n_candidates"]),
+                max_new_tokens=int(config["new_tokens"]),
+                sampler=Sampler(temperature=0.8,
+                                seed=int(config["sampler_seed"])),
+                prefill_chunk=prefill_chunk)
+
+        plain = schedule(None)
+        sliced = schedule(chunk)
+        token_diff = _tokens_diff(sliced.sequences, plain.sequences)
+        if token_diff is not None:
+            return self.failed(config, "tokens",
+                               f"chunk={chunk} vs monolithic: {token_diff}")
+        cost_diff = _costs_diff(sliced.decode_costs, plain.decode_costs)
+        if cost_diff is not None:
+            return self.failed(config, "cost",
+                               f"chunk={chunk} vs monolithic: {cost_diff}")
+        if sliced.n_steps != plain.n_steps:
+            return self.failed(
+                config, "cost",
+                f"step counts differ: {sliced.n_steps} vs {plain.n_steps}")
+        expected_chunks = -(-len(prompt) // chunk)
+        if sliced.n_prefill_chunks != expected_chunks:
+            return self.failed(
+                config, "state",
+                f"expected {expected_chunks} prefill chunks, got "
+                f"{sliced.n_prefill_chunks}")
+        return self.passed(config, n_chunks=float(sliced.n_prefill_chunks),
+                           n_steps=float(plain.n_steps))
+
+
+@register_oracle
 class SpeculativeOracle(Oracle):
     """Greedy speculative decode vs plain greedy target decode.
 

@@ -262,6 +262,65 @@ class TestAnalyticService:
         assert hot.service_seconds > cold.service_seconds
 
 
+class TestHeterogeneousDispatch:
+    def test_dispatch_flag_reprices_small_batch_decode(self):
+        """Batch-1 decode is GPU-won on every Table-3 device, so the
+        dispatching population must price it cheaper than NPU-only —
+        and charge the one prefill->decode KV migration it implies."""
+        request = _request(0, prompt_tokens=64, n_candidates=1,
+                           max_new_tokens=32)
+        plain = build_population(1)[0].serve(request, 0.0)
+        routed_device = build_population(1, dispatch=True)[0]
+        routed = routed_device.serve(request, 0.0)
+        assert routed.service_seconds < plain.service_seconds
+        assert routed_device.n_backend_switches == 1
+
+    def test_dispatch_default_off_is_identical(self):
+        request = _request(0, n_candidates=8, max_new_tokens=48)
+        explicit = build_population(1, dispatch=False)[0].serve(request, 0.0)
+        implicit = build_population(1)[0].serve(request, 0.0)
+        assert explicit.service_seconds == implicit.service_seconds
+        assert explicit.joules == implicit.joules
+
+    def test_batched_decode_stays_on_npu(self):
+        """n_candidates=8 decodes past the crossover: no migration, and
+        the NPU pricing is untouched by the dispatch flag."""
+        request = _request(0, prompt_tokens=64, n_candidates=8,
+                           max_new_tokens=48)
+        plain = build_population(1)[0].serve(request, 0.0)
+        routed_device = build_population(1, dispatch=True)[0]
+        routed = routed_device.serve(request, 0.0)
+        assert routed.service_seconds == plain.service_seconds
+        assert routed_device.n_backend_switches == 0
+
+    def test_engine_device_threads_dispatch_through(self, tiny_model):
+        from repro.fleet.devices import EngineFleetDevice
+        from repro.llm import (BackendSelector,
+                               ContinuousBatchingScheduler, InferenceEngine)
+
+        def engine():
+            return InferenceEngine(tiny_model, batch=4, max_context=64,
+                                   kv_backend="paged",
+                                   device=DEVICES["oneplus_12"])
+
+        request = _request(0, prompt_tokens=6, n_candidates=4,
+                           max_new_tokens=8,
+                           prompt=(3, 1, 4, 1, 5, 9))
+        plain = EngineFleetDevice(
+            0, ContinuousBatchingScheduler(engine()),
+            DEVICES["oneplus_12"]).serve(request, 0.0)
+        routed = EngineFleetDevice(
+            0, ContinuousBatchingScheduler(engine()),
+            DEVICES["oneplus_12"],
+            dispatch=BackendSelector(DEVICES["oneplus_12"],
+                                     tiny_model.config),
+            prefill_chunk=2).serve(request, 0.0)
+        # same tokens either way; the placement only re-times the run
+        assert routed.result.sequences == plain.result.sequences
+        assert routed.result.n_prefill_chunks == 3
+        assert routed.result.backend_steps, "dispatch must be live"
+
+
 class TestRunFleet:
     def test_report_replay_byte_identical(self):
         kwargs = dict(n_devices=10, qps=3.0, horizon_seconds=10.0, seed=5,

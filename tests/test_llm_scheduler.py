@@ -164,3 +164,153 @@ class TestSimClock:
     def test_rejects_negative(self):
         with pytest.raises(NPUError):
             SimClock().advance(-1e-9)
+
+
+class TestChunkedPrefillAdmissions:
+    """Prompt admission, dispatch wiring and their observability hooks."""
+
+    def _dispatch(self, model, **kw):
+        from repro.llm import BackendSelector
+        from repro.npu import DEVICES
+        return BackendSelector(DEVICES["oneplus_12"], model.config, **kw)
+
+    def test_rejects_nonpositive_prefill_chunk(self, tiny_model):
+        sched = ContinuousBatchingScheduler(_paged_engine(tiny_model))
+        with pytest.raises(EngineError, match="prefill_chunk"):
+            sched.generate(PROMPT, n_candidates=2, max_new_tokens=4,
+                           prefill_chunk=0)
+
+    def test_rejects_bad_admissions(self, tiny_model):
+        from repro.llm import PromptAdmission
+        sched = ContinuousBatchingScheduler(_paged_engine(tiny_model))
+
+        def run(admission):
+            sched.generate(PROMPT, n_candidates=2, max_new_tokens=4,
+                           admissions=[admission])
+
+        with pytest.raises(EngineError, match="non-empty"):
+            run(PromptAdmission([], n_candidates=2, max_new_tokens=4))
+        with pytest.raises(EngineError, match="candidate count"):
+            run(PromptAdmission([5], n_candidates=0, max_new_tokens=4))
+        with pytest.raises(EngineError, match="max_new_tokens"):
+            run(PromptAdmission([5], n_candidates=2, max_new_tokens=0))
+        with pytest.raises(EngineError, match="at_step"):
+            run(PromptAdmission([5], n_candidates=2, max_new_tokens=4,
+                                at_step=-1))
+        with pytest.raises(EngineError, match="exceed"):
+            run(PromptAdmission([5] * 60, n_candidates=2, max_new_tokens=8))
+
+    def test_rejects_dispatch_config_mismatch(self, tiny_model):
+        from repro.llm import BackendSelector, get_model_config
+        from repro.npu import DEVICES
+        sched = ContinuousBatchingScheduler(_paged_engine(tiny_model))
+        stranger = BackendSelector(DEVICES["oneplus_12"],
+                                   get_model_config("qwen2.5-1.5b"))
+        with pytest.raises(EngineError, match="different model config"):
+            sched.generate(PROMPT, n_candidates=2, max_new_tokens=4,
+                           dispatch=stranger)
+
+    def test_admitted_prompt_decodes_alongside_primary(self, tiny_model):
+        from repro.llm import PromptAdmission
+        engine = _paged_engine(tiny_model)
+        sched = ContinuousBatchingScheduler(engine)
+        result = sched.generate(
+            PROMPT, n_candidates=5, max_new_tokens=8,
+            sampler=Sampler(temperature=0.8, seed=9), prefill_chunk=2,
+            admissions=[PromptAdmission([6, 2, 8, 3, 1], n_candidates=3,
+                                        max_new_tokens=5, at_step=2)])
+        assert result.n_prompt_admissions == 1
+        assert len(result.candidates) == 8
+        by_request = {}
+        for candidate in result.candidates:
+            by_request.setdefault(candidate.request_id, []).append(candidate)
+        assert sorted(by_request) == [0, 1]
+        assert len(by_request[0]) == 5
+        assert len(by_request[1]) == 3
+        # candidate ids continue after the primary request's
+        assert sorted(c.candidate_id for c in by_request[1]) == [5, 6, 7]
+        for candidate in by_request[1]:
+            assert candidate.admitted_step >= 2
+            assert 1 <= len(candidate.tokens) <= 5
+        # both prompts were chunk-prefetched: ceil(4/2) + ceil(5/2)
+        assert result.n_prefill_chunks == 2 + 3
+        assert engine.cache.pool.blocks_in_use == 0
+
+    def test_admission_waits_for_at_step_when_decode_is_live(self, tiny_model):
+        from repro.llm import PromptAdmission
+        from repro.obs.timeline import EventLog, set_event_log
+        log = EventLog()
+        previous = set_event_log(log)
+        try:
+            sched = ContinuousBatchingScheduler(_paged_engine(tiny_model))
+            sched.generate(
+                PROMPT, n_candidates=2, max_new_tokens=10,
+                sampler=Sampler(temperature=0.8, seed=4), prefill_chunk=2,
+                admissions=[PromptAdmission([9, 9, 4], n_candidates=1,
+                                            max_new_tokens=4, at_step=3)])
+        finally:
+            set_event_log(previous)
+        admitted = [e for e in log.by_kind("prefill_chunk")
+                    if e.attrs["request"] == 1]
+        assert admitted, "the admission must prefill eventually"
+        assert all(e.step >= 3 for e in admitted)
+
+    def test_timeline_records_chunks_and_switches(self, tiny_model):
+        from repro.obs.timeline import EventLog, set_event_log
+        log = EventLog()
+        previous = set_event_log(log)
+        try:
+            sched = ContinuousBatchingScheduler(_paged_engine(tiny_model))
+            result = sched.generate(
+                PROMPT, n_candidates=3, max_new_tokens=6,
+                sampler=Sampler(temperature=0.8, seed=7), prefill_chunk=3,
+                dispatch=self._dispatch(tiny_model))
+        finally:
+            set_event_log(previous)
+        chunks = log.by_kind("prefill_chunk")
+        assert len(chunks) == result.n_prefill_chunks == 2
+        assert [e.attrs["offset"] for e in chunks] == [0, 3]
+        assert [e.attrs["n_tokens"] for e in chunks] == [3, 1]
+        assert all(e.attrs["joules"] > 0 for e in chunks)
+        # tiny configs always model fastest on the GPU, so the run pays
+        # exactly one migration off the NPU-resident starting state
+        switches = log.by_kind("backend_switch")
+        assert len(switches) == result.n_backend_switches == 1
+        assert switches[0].attrs["backend_from"] == "npu"
+        assert switches[0].attrs["backend_to"] == "gpu"
+        assert switches[0].attrs["crossing_seconds"] > 0
+        assert result.migration_seconds > 0
+        assert all(backend == "gpu" for _, backend in result.backend_steps)
+
+    def test_prefill_chunk_slo_histogram(self, tiny_model):
+        from repro.obs.metrics import MetricsRegistry, set_metrics
+        from repro.obs.slo import slo_summary
+        reg = MetricsRegistry()
+        previous = set_metrics(reg)
+        try:
+            sched = ContinuousBatchingScheduler(_paged_engine(tiny_model))
+            result = sched.generate(
+                PROMPT, n_candidates=2, max_new_tokens=4,
+                sampler=Sampler(temperature=0.8, seed=2), prefill_chunk=1)
+        finally:
+            set_metrics(previous)
+        hist = slo_summary(reg)["repro.slo.prefill_chunk_seconds"]
+        assert hist["count"] == result.n_prefill_chunks == len(PROMPT)
+        assert hist["p50"] > 0.0
+
+    def test_forced_cpu_dispatch_slows_the_clock(self, tiny_model):
+        from repro.npu import DEVICES
+
+        def run(**kw):
+            sched = ContinuousBatchingScheduler(
+                _paged_engine(tiny_model, device=DEVICES["oneplus_12"]))
+            return sched.generate(PROMPT, n_candidates=4, max_new_tokens=6,
+                                  sampler=Sampler(temperature=0.8, seed=13),
+                                  **kw)
+
+        plain = run()
+        forced = run(dispatch=self._dispatch(tiny_model, forced="cpu"))
+        assert forced.sequences == plain.sequences
+        assert all(backend == "cpu" for _, backend in forced.backend_steps)
+        # CPU decode is modeled slower than the NPU on a real device
+        assert forced.sim_seconds > plain.sim_seconds

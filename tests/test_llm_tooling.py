@@ -74,6 +74,38 @@ class TestOpPlacement:
         assert degraded.cpu_op_seconds(device) > \
             default.cpu_op_seconds(device)
 
+    def test_adjacent_same_device_ops_charge_one_crossing(self):
+        """Regression for the crossing double-count: a run of
+        consecutive same-device ops pays one boundary crossing at its
+        head, even when stale per-op ``crossing_before`` flags on a
+        hand-assembled plan claim otherwise."""
+        from repro.llm.placement import PlacedOp, crossing_for_bytes
+
+        device = get_device("oneplus_12")
+
+        def op(name, nbytes):
+            return OpInstance(name, "gemm", flops=1.0,
+                              activation_bytes=nbytes)
+
+        # NPU op, then two adjacent CPU ops *both* flagged as crossing —
+        # the stale-flag shape that used to double-charge
+        plan = PlacementPlan(ops=[
+            PlacedOp(op=op("a", 100), device="npu", crossing_before=True),
+            PlacedOp(op=op("b", 200), device="cpu", crossing_before=True),
+            PlacedOp(op=op("c", 400), device="cpu", crossing_before=True),
+        ])
+        boundaries = plan.boundaries()
+        assert [p.op.name for p in boundaries] == ["a", "b"]
+        assert plan.n_crossings == 2
+        assert plan.crossing_seconds(device) == pytest.approx(
+            crossing_for_bytes(device, 100) + crossing_for_bytes(device, 200))
+
+    def test_crossing_for_bytes_rejects_negative(self):
+        from repro.llm.placement import crossing_for_bytes
+
+        with pytest.raises(EngineError):
+            crossing_for_bytes(get_device("oneplus_12"), -1)
+
     def test_pin_to_npu_requires_kernel(self):
         policy = PlacementPolicy(pinned={"lm_head": "npu"})
         op = OpInstance("lm_head", "lm_head", flops=1.0, activation_bytes=2)
@@ -277,6 +309,36 @@ class TestCLI:
         assert "repro.slo.token_latency_seconds" in data["slo"]
         assert data["workload"] == "scheduler"
         assert "SLO token-latency percentiles" in text
+
+    def test_profile_placement_prints_crossover_table(self, tmp_path):
+        json_path = tmp_path / "profile.json"
+        status, text = self._run([
+            "profile", "--placement", "--scheduler", "--batch", "2",
+            "--candidates", "4", "--prompt-tokens", "3", "--new-tokens", "3",
+            "--trace-out", str(tmp_path / "t.json"),
+            "--json", str(json_path)])
+        assert status == 0
+        assert "stage-level placement" in text
+        # one table per governor, and the dispatched run's summary line
+        for governor in ("performance", "balanced", "efficiency"):
+            assert f"governor {governor}" in text
+        assert "backend switches" in text
+        with open(json_path) as handle:
+            data = json.load(handle)
+        rows = data["placement"]
+        # 3 governors x (8 prefill + 9 decode grid points)
+        assert len(rows) == 3 * 17
+        assert {r["backend"] for r in rows} <= {"npu", "gpu", "cpu"}
+        # the Fig. 13 shape survives serialization: batch-1 decode is
+        # off-NPU, long prefill on it, at every governor
+        for governor in ("performance", "balanced", "efficiency"):
+            decode1 = next(r for r in rows if r["governor"] == governor
+                           and r["stage"] == "decode" and r["size"] == 1)
+            assert decode1["backend"] != "npu"
+            long_prefill = next(r for r in rows if r["governor"] == governor
+                                and r["stage"] == "prefill"
+                                and r["size"] == 1024)
+            assert long_prefill["backend"] == "npu"
 
     def test_profile_json_to_stdout(self, tmp_path):
         status, text = self._run([
