@@ -142,6 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="render the comparison report as markdown")
     bench.add_argument("--list-scenarios", action="store_true",
                        help="list registered scenarios and exit")
+    bench.add_argument("--self-profile", action="store_true",
+                       help="run each scenario under cProfile and write a "
+                            "top-N cumulative-time table per scenario "
+                            "(simulator host-time attribution; never "
+                            "gated or fingerprinted)")
+    bench.add_argument("--profile-out", default=None, metavar="PATH",
+                       help="self-profile artifact path ('-' for stdout; "
+                            "default: benchmarks/profile.txt)")
 
     monitor = sub.add_parser(
         "monitor",
@@ -179,6 +187,33 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="exit 2 if more than N anomalies were "
                               "flagged (CI quiet-scenario gate)")
+
+    explain = sub.add_parser(
+        "explain",
+        help="replay a bench scenario with the event log armed and "
+             "attribute every simulated nanosecond (and joule) of every "
+             "request to a critical-path blame phase")
+    explain.add_argument("--scenario", default="chaos.waves",
+                         help="registered bench scenario to replay "
+                              "(default: chaos.waves; see "
+                              "'repro bench --list-scenarios')")
+    explain.add_argument("--device", default="oneplus_12",
+                         help="device key from the Table 3 registry")
+    explain.add_argument("--seed", type=int, default=0,
+                         help="scenario seed; the report is a pure "
+                              "function of (scenario, device, seed)")
+    explain.add_argument("--top", type=int, default=5, dest="top_k",
+                         help="exemplar slow-request waterfalls to keep "
+                              "in the report (default: 5)")
+    explain.add_argument("--json", default=None, metavar="PATH",
+                         dest="json_out",
+                         help="write the repro.explain/v1 report JSON to "
+                              "PATH ('-' for stdout); byte-identical "
+                              "across replays")
+    explain.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="also export a chrome://tracing JSON with "
+                              "critical-path blame bars overlaid on the "
+                              "per-request lanes")
 
     fleet = sub.add_parser(
         "fleet",
@@ -221,6 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--hedge", action="store_true",
                        help="hedge the p99 queue-wait tail onto a second "
                             "device (first completion wins)")
+    fleet.add_argument("--explain", action="store_true",
+                       help="record the run's timeline and add the "
+                            "critical-path blame section (per-phase "
+                            "nanosecond ledger, p50/p99 cohorts) to the "
+                            "report; enforces offered == explained")
     fleet.add_argument("--json", default=None, metavar="PATH",
                        dest="json_out",
                        help="write the repro.fleet/v1 report JSON to PATH "
@@ -567,7 +607,9 @@ def _cmd_profile(workload: str, device_key: str, batch: int,
 def _cmd_bench(check: bool, update_baseline: bool, baseline: Optional[str],
                only, fast: bool, device: Optional[str], seed: int,
                out_dir: Optional[str], json_out: Optional[str],
-               markdown: bool, list_scenarios: bool, out) -> int:
+               markdown: bool, list_scenarios: bool, out,
+               self_profile: bool = False,
+               profile_out: Optional[str] = None) -> int:
     import json
     import os
 
@@ -579,6 +621,7 @@ def _cmd_bench(check: bool, update_baseline: bool, baseline: Optional[str],
         BenchSnapshot,
         compare_snapshots,
         next_snapshot_path,
+        render_profile_table,
         run_suite,
     )
 
@@ -592,7 +635,18 @@ def _cmd_bench(check: bool, update_baseline: bool, baseline: Optional[str],
     baseline_path = baseline if baseline is not None else DEFAULT_BASELINE_PATH
     device_key = device if device is not None else DEFAULT_DEVICE
     snapshot = run_suite(only=only, device_key=device_key, seed=seed,
-                         fast_only=fast)
+                         fast_only=fast, self_profile=self_profile)
+    if self_profile:
+        table = render_profile_table(snapshot.profiles or {})
+        if profile_out == "-":
+            out.write(table)
+        else:
+            path = profile_out if profile_out is not None \
+                else os.path.join("benchmarks", "profile.txt")
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            with open(path, "w") as handle:
+                handle.write(table)
+            out.write(f"self-profile written to {path}\n")
     out.write(f"ran {len(snapshot.records)} scenario(s) on {device_key} "
               f"(seed {seed}, git {snapshot.fingerprint['git_sha'][:12]})\n")
     for name in sorted(snapshot.records):
@@ -686,11 +740,48 @@ def _cmd_monitor(scenario: str, device: str, seed: int, windows: int,
     return 0
 
 
+def _cmd_explain(scenario: str, device: str, seed: int, top_k: int,
+                 json_out: Optional[str], trace_out: Optional[str],
+                 out) -> int:
+    from .errors import ReproError
+    from .obs.blame import run_explain
+
+    try:
+        report = run_explain(scenario, device_key=device, seed=seed,
+                             top_k=top_k)
+    except ReproError as error:
+        out.write(f"error: {error}\n")
+        return 2
+
+    out.write(report.render(top_k=top_k))
+    if json_out is not None:
+        if json_out == "-":
+            out.write(report.to_json_text())
+        else:
+            with open(json_out, "w") as handle:
+                handle.write(report.to_json_text())
+            out.write(f"explain JSON written to {json_out}\n")
+    if trace_out is not None:
+        from .obs import write_chrome_trace
+        trace = write_chrome_trace(
+            trace_out, report.tracer, timing=report.timing,
+            events=report.log, critical_paths=report.critical_paths(),
+            process_name=f"repro explain ({scenario} on {device})")
+        out.write(f"trace written to {trace_out} "
+                  f"({len(trace['traceEvents'])} events); open in "
+                  f"https://ui.perfetto.dev\n")
+    if report.lifecycle_problems:
+        out.write(f"error: {len(report.lifecycle_problems)} lifecycle "
+                  "problem(s) in the recorded timeline\n")
+        return 2
+    return 0
+
+
 def _cmd_fleet(devices: int, qps: float, horizon_seconds: float,
                max_requests: Optional[int], seed: int, pattern: str,
                p99_target_ms: float, queue_depth: int, model: str,
                no_capacity_plan: bool, faults: str, hedge: bool,
-               json_out: Optional[str], out) -> int:
+               json_out: Optional[str], out, explain: bool = False) -> int:
     from .errors import ReproError
     from .fleet import run_fleet
 
@@ -700,7 +791,7 @@ def _cmd_fleet(devices: int, qps: float, horizon_seconds: float,
             max_requests=max_requests, seed=seed, pattern=pattern,
             queue_depth=queue_depth, p99_target_ms=p99_target_ms,
             model_name=model, with_capacity_plan=not no_capacity_plan,
-            fault_spec=faults, hedge=hedge)
+            fault_spec=faults, hedge=hedge, explain=explain)
     except ReproError as error:
         out.write(f"error: {error}\n")
         return 2
@@ -791,18 +882,23 @@ def _dispatch(args, out) -> int:
         return _cmd_bench(args.check, args.update_baseline, args.baseline,
                           args.only, args.fast, args.device, args.seed,
                           args.out_dir, args.json_out, args.markdown,
-                          args.list_scenarios, out)
+                          args.list_scenarios, out,
+                          self_profile=args.self_profile,
+                          profile_out=args.profile_out)
     if args.command == "monitor":
         return _cmd_monitor(args.scenario, args.device, args.seed,
                             args.windows, args.window_ms, args.json_out,
                             args.trace_out, args.min_anomalies,
                             args.max_anomalies, out)
+    if args.command == "explain":
+        return _cmd_explain(args.scenario, args.device, args.seed,
+                            args.top_k, args.json_out, args.trace_out, out)
     if args.command == "fleet":
         return _cmd_fleet(args.devices, args.qps, args.horizon_seconds,
                           args.requests, args.seed, args.pattern,
                           args.p99_target_ms, args.queue_depth, args.model,
                           args.no_capacity_plan, args.faults, args.hedge,
-                          args.json_out, out)
+                          args.json_out, out, explain=args.explain)
     if args.command == "fuzz":
         return _cmd_fuzz(args.trials, args.seed, args.oracle, args.replay,
                          not args.no_shrink, args.list_oracles, out)

@@ -26,6 +26,16 @@ attempt)``, so the same fault schedule always produces the same
 failovers, cooldowns and hedges — byte-identical ``repro.fleet/v1``
 reports across replays, which is what the ``fleet.chaos`` fuzz oracle
 pins.
+
+Each mechanism has a fixed address in the critical-path blame taxonomy
+(:mod:`repro.obs.critical_path`): a failover retry charges the wait
+before its re-offer to ``failover_backoff`` and the dead dispatch's
+progress to ``service_lost``; a cancelled hedge loser's energy lands in
+``hedge_wasted`` joules; a breaker quarantine shows up as ``queue_wait``
+on the requests it delays (quarantine removes capacity, it does not
+touch in-flight work).  :meth:`FleetHealth.counters` is the
+cross-check surface: the invariant tests assert blame phases appear
+only when the mechanism that produces them actually fired.
 """
 
 from __future__ import annotations
@@ -305,3 +315,20 @@ class FleetHealth:
 
     def offline_devices(self) -> int:
         return sum(1 for h in self.devices.values() if not h.online)
+
+    def counters(self) -> Dict[str, int]:
+        """Fleet-wide fault/recovery totals across every device.
+
+        The blame cross-check surface: ``service_lost`` nanoseconds can
+        only exist when ``crashes + drops`` fired, ``hedge_wasted``
+        joules require a hedge policy, and breaker opens bound how much
+        capacity quarantine could have added to ``queue_wait``.
+        """
+        return {
+            "crashes": sum(h.n_crashes for h in self.devices.values()),
+            "reboots": sum(h.n_reboots for h in self.devices.values()),
+            "drops": sum(h.n_drops for h in self.devices.values()),
+            "straggles": sum(h.n_straggles for h in self.devices.values()),
+            "breaker_opens": self.n_breaker_opens,
+            "breaker_closes": self.n_breaker_closes,
+        }

@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional
 
 from ..errors import FleetError
 from ..obs.slo import histogram_summary
+from ..obs.timeline import EventLog, set_event_log
 from ..resilience.faults import FaultPlan
 from .devices import build_population
 from .health import FailoverPolicy, HedgePolicy
@@ -65,6 +66,10 @@ class FleetReport:
     #: hedging was armed, so fault-free reports stay byte-identical to
     #: the pre-chaos schema.
     chaos: Optional[Dict[str, Any]] = None
+    #: Critical-path blame section (schema ``repro.explain/v1``);
+    #: present only when the run was recorded with ``explain=True``,
+    #: so un-explained reports keep their existing byte-exact shape.
+    explain: Optional[Dict[str, Any]] = None
     schema: str = FLEET_SCHEMA
     #: The raw result, for tests and trace export; never serialized.
     result: Optional[FleetResult] = field(default=None, repr=False)
@@ -83,6 +88,8 @@ class FleetReport:
         }
         if self.chaos is not None:
             out["chaos"] = self.chaos
+        if self.explain is not None:
+            out["explain"] = self.explain
         return out
 
     def to_json_text(self) -> str:
@@ -155,6 +162,24 @@ class FleetReport:
                          f"{ledger['shed']} shed + "
                          f"{ledger['failed_permanently']} failed + "
                          f"{ledger['unserved']} unserved")
+        if self.explain is not None:
+            agg = self.explain["aggregate"]
+            lines.append("")
+            lines.append(
+                f"== blame (critical path, {agg['n_requests']} requests "
+                f"explained) ==")
+            total = agg["total_latency_ns"]
+            for phase in sorted(agg["blame_ns"],
+                                key=lambda p: -agg["blame_ns"][p]):
+                ns = agg["blame_ns"][phase]
+                share = ns / total if total else 0.0
+                lines.append(f"  {phase:<18s} {ns / 1e9:>10.3f} s "
+                             f"{share:>6.1%}")
+            for name, cohort in agg["cohorts"].items():
+                lines.append(
+                    f"  {name} cohort ({cohort['n_requests']} requests "
+                    f">= {cohort['cutoff_ns'] / 1e9:.3f} s): dominant "
+                    f"{cohort['dominant_phase']}")
         lines.append("")
         lines.append(f"== capacity @ p99 token latency <= "
                      f"{self.capacity['p99_target_ms']:g} ms ==")
@@ -258,7 +283,8 @@ def run_fleet(n_devices: int, qps: float,
               battery_capacity_joules: float = 6.9e4,
               with_capacity_plan: bool = True,
               fault_spec: str = "",
-              hedge: bool = False) -> FleetReport:
+              hedge: bool = False,
+              explain: bool = False) -> FleetReport:
     """Simulate one serving window and fold it into a report.
 
     ``fault_spec`` arms a :class:`FaultPlan` of ``dev#K:...`` fleet
@@ -266,6 +292,13 @@ def run_fleet(n_devices: int, qps: float,
     p99-tail hedged dispatch.  Either adds a ``chaos`` section to the
     report; with both at their defaults the report is byte-identical
     to the pre-chaos schema (capacity probes always run fault-free).
+
+    ``explain=True`` records the run on a private event log and adds a
+    critical-path blame section (schema ``repro.explain/v1``): every
+    request's latency and joules attributed to queue wait / service /
+    lost work / failover backoff, with p50/p99 cohort breakdowns.
+    Only the main simulation is recorded — capacity probes stay
+    unobserved, so the rest of the report is unchanged by explaining.
     """
     if pattern not in ARRIVAL_PATTERNS:
         raise FleetError(
@@ -273,9 +306,20 @@ def run_fleet(n_devices: int, qps: float,
             f"{ARRIVAL_PATTERNS}")
     fault_plan = FaultPlan.parse(fault_spec) if fault_spec else None
     trace = _trace_config(qps, horizon_seconds, max_requests, seed, pattern)
-    result = _simulate(n_devices, trace, queue_depth, model_name,
-                       battery_capacity_joules, fault_plan=fault_plan,
-                       hedge=hedge)
+    log: Optional[EventLog] = None
+    if explain:
+        log = EventLog(enabled=True)
+        previous_log = set_event_log(log)
+        try:
+            result = _simulate(n_devices, trace, queue_depth, model_name,
+                               battery_capacity_joules,
+                               fault_plan=fault_plan, hedge=hedge)
+        finally:
+            set_event_log(previous_log)
+    else:
+        result = _simulate(n_devices, trace, queue_depth, model_name,
+                           battery_capacity_joules, fault_plan=fault_plan,
+                           hedge=hedge)
 
     by_generation: Dict[str, int] = {}
     for device in result.devices:
@@ -320,6 +364,16 @@ def run_fleet(n_devices: int, qps: float,
             },
             "conservation": result.conservation(),
         }
+
+    explain_data: Optional[Dict[str, Any]] = None
+    if log is not None:
+        from ..obs.blame import explain_section
+        explain_data = explain_section(log)
+        explained = explain_data["aggregate"]["n_requests"]
+        if explained != result.n_arrivals:
+            raise FleetError(
+                f"explain ledger violated: {result.n_arrivals} offered "
+                f"requests but {explained} explained")
 
     makespan = result.makespan_seconds
     return FleetReport(
@@ -382,4 +436,5 @@ def run_fleet(n_devices: int, qps: float,
             "devices_needed": devices_needed,
         },
         chaos=chaos,
+        explain=explain_data,
         result=result)

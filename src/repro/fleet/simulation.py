@@ -348,7 +348,8 @@ class FleetSimulation:
                      device=device.device_id,
                      generation=device.generation,
                      wait_seconds=wait,
-                     service_seconds=outcome.service_seconds)
+                     service_seconds=outcome.service_seconds,
+                     joules=outcome.joules)
         if hedged:
             attrs["hedged"] = True
         obs_timeline.emit("dispatch", now, **attrs)
@@ -406,7 +407,9 @@ class FleetSimulation:
         obs_timeline.emit("complete", now, request_id=rid,
                           reason="served", tokens=outcome.tokens,
                           latency_seconds=now - request.arrival_seconds,
-                          joules=outcome.joules)
+                          joules=outcome.joules,
+                          device=dispatch.device_id,
+                          tenant=request.tenant)
         breaker = self.health[device.device_id].breaker
         if breaker.record_success():  # half-open probe succeeded
             obs_timeline.emit("breaker_close", now,
@@ -484,6 +487,9 @@ class FleetSimulation:
                 if legs:
                     # the sibling hedge leg races on — no failover
                     self.result.n_hedge_cancelled += 1
+                    obs_timeline.emit("hedge", now, request_id=rid,
+                                      loser=device.device_id,
+                                      cancelled=True, reason=reason)
                 else:
                     del self._inflight[rid]
                     self._failover(victim.request, device, now, reason)

@@ -410,6 +410,16 @@ class ContinuousBatchingScheduler:
         free_slots = list(range(engine.batch))
         live: Dict[int, _LiveCandidate] = {}
         finished: List[CandidateOutput] = []
+        # wave boundary bookkeeping: every candidate id is known up
+        # front, so wave populations are too — wave k opens at its
+        # first admission and closes when its last member retires
+        total_candidates = next_cid
+        waves_started: set = set()
+        wave_retired: Dict[int, int] = {}
+
+        def wave_population(wave: int) -> int:
+            return min(batch, total_candidates - wave * batch)
+
         step = 0
         admitting = True
         throttle_restore_step: Optional[int] = None
@@ -549,6 +559,11 @@ class ContinuousBatchingScheduler:
                     self._admissions.inc()
                     if tlog.enabled:
                         wave = candidate.candidate_id // batch
+                        if wave not in waves_started:
+                            waves_started.add(wave)
+                            tlog.emit("wave_start", clock.total_seconds,
+                                      step=step, wave=wave,
+                                      population=wave_population(wave))
                         tlog.emit("admit", clock.total_seconds,
                                   request_id=candidate.candidate_id,
                                   step=step, slot=slot)
@@ -581,6 +596,11 @@ class ContinuousBatchingScheduler:
                           request_id=candidate.candidate_id, step=step,
                           reason=reason, tokens=len(candidate.tokens),
                           latency_seconds=latency, joules=joules)
+                wave = candidate.candidate_id // batch
+                wave_retired[wave] = wave_retired.get(wave, 0) + 1
+                if wave_retired[wave] == wave_population(wave):
+                    tlog.emit("wave_end", clock.total_seconds, step=step,
+                              wave=wave, population=wave_retired[wave])
 
         def rebuild_live() -> None:
             # The paged cache may be in an inconsistent mid-forward
@@ -591,6 +611,7 @@ class ContinuousBatchingScheduler:
                 candidate = live[slot]
                 prefix = candidate.tokens[:-1]
                 rebuild_joules = 0.0
+                rebuild_seconds = 0.0
                 with obs_trace.span("resilience.rebuild",
                                     category="resilience", slot=slot,
                                     candidate=candidate.candidate_id,
@@ -611,6 +632,7 @@ class ContinuousBatchingScheduler:
                                 request_id=candidate.candidate_id,
                                 wave=candidate.candidate_id // batch)
                             rebuild_joules = breakdown.joules
+                            rebuild_seconds = seconds
                 result.n_rebuilds += 1
                 result.rebuilt_tokens += len(prefix)
                 self._rebuilds.inc()
@@ -618,6 +640,7 @@ class ContinuousBatchingScheduler:
                     tlog.emit("rebuild", clock.total_seconds,
                               request_id=candidate.candidate_id,
                               step=step, tokens=len(prefix),
+                              seconds=rebuild_seconds,
                               joules=rebuild_joules)
             # in-flight partial prefills lost their KV too: restart them
             # from scratch on the next service round
@@ -852,7 +875,8 @@ class ContinuousBatchingScheduler:
                              kv_blocks=cache.pool.blocks_in_use,
                              governor_level=governor_level(
                                  engine.governor.name),
-                             joules=step_energy.joules)
+                             joules=step_energy.joules,
+                             live_ids=list(live_ids))
                 if selector is not None:
                     attrs["backend"] = prev_backend
                 tlog.emit("decode_step", clock.total_seconds, step=step,

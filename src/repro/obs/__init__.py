@@ -18,6 +18,12 @@
   request, and wave, from the :mod:`repro.perf.power` budget.
 * :mod:`repro.obs.monitor` — the ``repro monitor`` replay + report
   (imported lazily by the CLI; not re-exported here).
+* :mod:`repro.obs.critical_path` — per-request critical-path
+  reconstruction and bitwise latency/energy blame attribution from a
+  recorded timeline, plus the lifecycle completeness validator.
+* :mod:`repro.obs.blame` — fleet-wide blame aggregation (percentile
+  cohorts, per-device/per-tenant splits, exemplar waterfalls) and the
+  ``repro explain`` report (schema ``repro.explain/v1``).
 
 Tracing is disabled by default; enable it for a run with::
 
@@ -71,14 +77,35 @@ from .anomaly import (
     default_detectors,
     detect_series,
 )
+from .blame import (
+    EXPLAIN_SCHEMA,
+    ExplainReport,
+    aggregate_blame,
+    explain_section,
+    render_waterfall,
+    run_explain,
+)
+from .critical_path import (
+    FLEET_PHASES,
+    PhaseSlice,
+    RequestExplanation,
+    SCHEDULER_PHASES,
+    assert_lifecycle,
+    explain_fleet_log,
+    explain_log,
+    explain_scheduler_log,
+    quantize_ns,
+    validate_lifecycle,
+)
 from .energy import (
     EnergyAccountant,
     EnergyBreakdown,
     EnergyModel,
     ZERO_ENERGY,
+    quantize_nj,
     tokens_per_joule,
 )
-from .slo import SLOTracker, hdr_buckets, slo_summary
+from .slo import SLOTracker, hdr_buckets, percentile_cutoff, slo_summary
 from .stream import (
     DEFAULT_WINDOW_SECONDS,
     MetricStream,
@@ -116,7 +143,25 @@ __all__ = [
     "write_chrome_trace",
     "SLOTracker",
     "hdr_buckets",
+    "percentile_cutoff",
     "slo_summary",
+    "EXPLAIN_SCHEMA",
+    "ExplainReport",
+    "aggregate_blame",
+    "explain_section",
+    "render_waterfall",
+    "run_explain",
+    "FLEET_PHASES",
+    "PhaseSlice",
+    "RequestExplanation",
+    "SCHEDULER_PHASES",
+    "assert_lifecycle",
+    "explain_fleet_log",
+    "explain_log",
+    "explain_scheduler_log",
+    "quantize_ns",
+    "quantize_nj",
+    "validate_lifecycle",
     "AnomalyEvent",
     "EwmaDetector",
     "MadDetector",

@@ -38,7 +38,20 @@ from typing import Any, Dict, Optional
 from ..errors import ObservabilityError
 
 __all__ = ["EnergyBreakdown", "ZERO_ENERGY", "EnergyModel",
-           "EnergyAccountant", "tokens_per_joule"]
+           "EnergyAccountant", "tokens_per_joule", "quantize_nj"]
+
+
+def quantize_nj(joules: float) -> int:
+    """Quantize one energy charge to integer nanojoules.
+
+    The blame ledger (:mod:`repro.obs.critical_path`) quantizes every
+    individual charge exactly once and then only ever adds integers, so
+    per-phase attributions sum *bitwise* to the per-request total — the
+    float path cannot promise that (addition order changes the ulps).
+    One nanojoule of granularity is ~9 orders below a single decode
+    step's budget, so the rounding is far under measurement noise.
+    """
+    return int(round(float(joules) * 1e9))
 
 
 @dataclass(frozen=True)

@@ -161,10 +161,43 @@ def _request_lane_events(timeline_events: List[Any]) -> List[Dict[str, Any]]:
     return out
 
 
+def _critical_path_events(critical_paths: Any) -> List[Dict[str, Any]]:
+    """Critical-path highlighting bars for the per-request lanes.
+
+    ``critical_paths`` maps request id -> phase slices (anything with
+    ``phase``/``start_ns``/``end_ns``, or ``[phase, start_ns, end_ns]``
+    triples — the :class:`~repro.obs.critical_path.PhaseSlice` JSON
+    shape).  Each slice becomes an ``X`` bar on the request's lane,
+    named by its blame phase, so Perfetto shows *why* each stretch of
+    the admit-to-complete bar existed, not just that it did.
+    """
+    out: List[Dict[str, Any]] = []
+    if not critical_paths:
+        return out
+    for request_id in sorted(critical_paths):
+        tid = _REQUEST_TID_BASE + int(request_id)
+        for entry in critical_paths[request_id]:
+            if hasattr(entry, "phase"):
+                phase, start_ns, end_ns = (entry.phase, entry.start_ns,
+                                           entry.end_ns)
+            else:
+                phase, start_ns, end_ns = entry
+            out.append({
+                "name": str(phase), "cat": "sim.blame", "ph": "X",
+                "ts": start_ns * 1e-3, "dur": max(end_ns - start_ns, 0)
+                * 1e-3,
+                "pid": _PID, "tid": tid,
+                "args": {"phase": str(phase),
+                         "request_id": int(request_id)},
+            })
+    return out
+
+
 def chrome_trace(source: Union[Tracer, Sequence[Span]],
                  timing: Optional[Any] = None,
                  process_name: str = "repro",
-                 events: Optional[Any] = None) -> Dict[str, Any]:
+                 events: Optional[Any] = None,
+                 critical_paths: Optional[Any] = None) -> Dict[str, Any]:
     """Build a ``chrome://tracing`` JSON object from finished spans.
 
     ``timing`` (a :class:`~repro.npu.timing.TimingModel`) prices each
@@ -172,7 +205,9 @@ def chrome_trace(source: Union[Tracer, Sequence[Span]],
     only the host-thread timeline is emitted.  ``events`` (a
     :class:`~repro.obs.timeline.EventLog` or its event list) adds one
     lane per request on the simulated timeline — admit-to-complete bars
-    with fault/retry/evict markers.  The result round-trips through
+    with fault/retry/evict markers.  ``critical_paths`` (request id ->
+    phase slices, the :mod:`repro.obs.critical_path` waterfall) overlays
+    blame-phase bars on those lanes.  The result round-trips through
     :func:`json.dumps` and loads in Perfetto.
     """
     spans = _spans_of(source)
@@ -250,6 +285,7 @@ def chrome_trace(source: Union[Tracer, Sequence[Span]],
             emit_engine(root)
 
     events.extend(_request_lane_events(timeline_events))
+    events.extend(_critical_path_events(critical_paths))
 
     return {"traceEvents": events, "displayTimeUnit": "ms",
             "otherData": {"generator": "repro.obs"}}
@@ -258,10 +294,11 @@ def chrome_trace(source: Union[Tracer, Sequence[Span]],
 def write_chrome_trace(path: str, source: Union[Tracer, Sequence[Span]],
                        timing: Optional[Any] = None,
                        process_name: str = "repro",
-                       events: Optional[Any] = None) -> Dict[str, Any]:
+                       events: Optional[Any] = None,
+                       critical_paths: Optional[Any] = None) -> Dict[str, Any]:
     """Write the Chrome-trace JSON to ``path``; returns the trace dict."""
     trace = chrome_trace(source, timing=timing, process_name=process_name,
-                         events=events)
+                         events=events, critical_paths=critical_paths)
     with open(path, "w") as handle:
         json.dump(trace, handle)
     return trace
@@ -405,10 +442,28 @@ def _energy_section(energy: Optional[Any]) -> Optional[Dict[str, Any]]:
     return data
 
 
+def _blame_section(blame: Optional[Any]) -> Optional[Dict[str, Any]]:
+    """Normalize a blame argument to an aggregate dict (duck-typed).
+
+    Accepts the :func:`~repro.obs.blame.aggregate_blame` dict directly,
+    or anything carrying one under an ``aggregate`` attribute/key (an
+    :class:`~repro.obs.blame.ExplainReport` or its ``to_json`` dict).
+    """
+    if blame is None:
+        return None
+    if hasattr(blame, "aggregate"):
+        return blame.aggregate
+    data = dict(blame)
+    if "aggregate" in data:
+        return data["aggregate"]
+    return data
+
+
 def text_report(source: Union[Tracer, Sequence[Span]],
                 timing: Optional[Any] = None,
                 metrics: Optional[Any] = None,
-                energy: Optional[Any] = None) -> str:
+                energy: Optional[Any] = None,
+                blame: Optional[Any] = None) -> str:
     """Flamegraph-style text report: span tree plus kernel attribution.
 
     ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry` or its
@@ -416,7 +471,9 @@ def text_report(source: Union[Tracer, Sequence[Span]],
     percentiles recorded by the scheduler/engine hot paths.  ``energy``
     (an :class:`~repro.obs.energy.EnergyAccountant` or its ``to_json``
     dict, optionally carrying ``tokens``) adds the simulated-joule
-    attribution section.
+    attribution section.  ``blame`` (an
+    :class:`~repro.obs.blame.ExplainReport` or its aggregate dict) adds
+    the critical-path latency blame section.
     """
     spans = _spans_of(source)
     lines: List[str] = []
@@ -484,6 +541,24 @@ def text_report(source: Union[Tracer, Sequence[Span]],
             tpj = tokens / energy_data["total_j"]
             lines.append(f"tokens per joule   {tpj:.1f}")
 
+    blame_data = _blame_section(blame)
+    if blame_data is not None and blame_data.get("blame_ns"):
+        total_ns = blame_data.get("total_latency_ns", 0)
+        lines.append("")
+        lines.append("== latency blame (critical path) ==")
+        lines.append(f"requests explained {blame_data.get('n_requests', 0)}")
+        lines.append(f"attributed time    {total_ns / 1e6:.3f} ms")
+        lines.append(f"{'phase':<18s} {'ms':>12s} {'share':>7s}")
+        blame_ns = blame_data["blame_ns"]
+        for phase in sorted(blame_ns, key=lambda p: -blame_ns[p]):
+            share = blame_ns[phase] / total_ns if total_ns else 0.0
+            lines.append(f"{phase:<18s} {blame_ns[phase] / 1e6:>12.3f} "
+                         f"{share:>6.1%}")
+        for name, cohort in blame_data.get("cohorts", {}).items():
+            lines.append(f"{name} dominant       {cohort['dominant_phase']} "
+                         f"({cohort['n_requests']} requests >= "
+                         f"{cohort['cutoff_ns'] / 1e6:.3f} ms)")
+
     slo = _slo_sections(metrics)
     if slo:
         lines.append("")
@@ -520,15 +595,17 @@ def text_report(source: Union[Tracer, Sequence[Span]],
 def report_data(source: Union[Tracer, Sequence[Span]],
                 timing: Optional[Any] = None,
                 metrics: Optional[Any] = None,
-                energy: Optional[Any] = None) -> Dict[str, Any]:
+                energy: Optional[Any] = None,
+                blame: Optional[Any] = None) -> Dict[str, Any]:
     """Structured counterpart of :func:`text_report` for ``--json``.
 
     Returns a JSON-serializable dict with the same information the text
     report renders: the folded span tree, scheduler/resilience stats,
     per-kernel simulated attribution (when ``timing`` is given), SLO
-    percentiles and the full metrics snapshot (when ``metrics`` is
-    given).  Empty sections are ``None``/empty rather than absent, so
-    consumers can rely on the schema.
+    percentiles, the full metrics snapshot (when ``metrics`` is given)
+    and the critical-path blame aggregate (when ``blame`` is given).
+    Empty sections are ``None``/empty rather than absent, so consumers
+    can rely on the schema.
     """
     spans = _spans_of(source)
     paths = _aggregate_tree(spans)
@@ -556,4 +633,5 @@ def report_data(source: Union[Tracer, Sequence[Span]],
         "slo": _slo_sections(metrics),
         "metrics": _metrics_snapshot(metrics),
         "energy": _energy_section(energy),
+        "blame": _blame_section(blame),
     }

@@ -27,13 +27,34 @@ would have belonged to).
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List, Optional, Union
 
 from ..errors import ObservabilityError
 from .metrics import Histogram, MetricsRegistry, get_metrics
 
 __all__ = ["hdr_buckets", "SLOTracker", "slo_summary", "SLO_PERCENTILES",
-           "histogram_summary"]
+           "histogram_summary", "percentile_cutoff"]
+
+
+def percentile_cutoff(values: "List[int]", q: float) -> int:
+    """Nearest-rank percentile over exact integer samples.
+
+    The HDR histograms above trade exactness for streaming; the blame
+    aggregator (:mod:`repro.obs.blame`) works on *finite, exact*
+    integer-nanosecond latencies and conditions cohorts on them (every
+    request at or above the p99 cutoff), so it needs the textbook
+    nearest-rank cutoff, not an interpolated estimate — and an integer
+    result keeps the explain report byte-stable.
+    """
+    if not values:
+        raise ObservabilityError("percentile_cutoff needs samples")
+    if not 0.0 < q <= 100.0:
+        raise ObservabilityError(
+            f"percentile q must be in (0, 100], got {q}")
+    ranked = sorted(values)
+    rank = math.ceil(q / 100.0 * len(ranked))
+    return ranked[max(rank - 1, 0)]
 
 SLO_PERCENTILES = (50.0, 95.0, 99.0)
 

@@ -55,10 +55,16 @@ __all__ = [
 #: Stage-level dispatch adds ``prefill_chunk`` (one chunk of a chunked
 #: or admitted prompt forwarded) and ``backend_switch`` (the stage
 #: dispatcher migrated between CPU/GPU/NPU, paying an rpcmem crossing).
+#: ``wave_start``/``wave_end`` bracket a scheduler wave's population:
+#: the first admit of wave ``k`` opens it, the last retirement closes
+#: it — the run-level boundaries the critical-path reconstructor
+#: (:mod:`repro.obs.critical_path`) uses to scope decode cohorts.
 EVENT_KINDS = (
     "queue",
     "admit",
     "wave_assign",
+    "wave_start",
+    "wave_end",
     "prefill",
     "prefill_chunk",
     "decode_step",

@@ -253,6 +253,20 @@ def _fleet_chaos() -> Dict:
     return report.to_json()
 
 
+@_register("fleet.explain", "json",
+           "small chaos fleet with the critical-path blame ledger "
+           "(repro.explain/v1 section embedded in the fleet report)")
+def _fleet_explain() -> Dict:
+    from ..fleet import run_fleet
+
+    report = run_fleet(
+        6, 8.0, horizon_seconds=10.0, seed=2026,
+        with_capacity_plan=False, hedge=True,
+        fault_spec="dev#0:crash@2:4,dev#1:straggle@1:2:8,dev#2:drop@3",
+        explain=True)
+    return report.to_json()
+
+
 # ----------------------------------------------------------------------
 # cases: on-disk format conformance
 # ----------------------------------------------------------------------

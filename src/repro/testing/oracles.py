@@ -1071,3 +1071,109 @@ class FleetChaosOracle(Oracle):
                            n_completed=float(requests["completed"]),
                            n_fleet_faults=float(n_faults),
                            n_failed=float(failed))
+
+
+@register_oracle
+class ExplainOracle(Oracle):
+    """Blame attribution replay: critical paths are a pure function too.
+
+    The PR-10 guarantee: a faulted, hedged fleet run with the timeline
+    armed and every request's critical path reconstructed
+    (``run_fleet(..., explain=True)``) replays byte-identically — the
+    blame ledger included — and the ledger is *total*: every offered
+    request is explained, per-phase nanoseconds sum exactly to the total
+    attributed latency, and per-phase nanojoules sum exactly to the
+    attributed energy.  Per-request bitwise conservation is asserted
+    inside :func:`~repro.obs.blame.aggregate_blame` while the report is
+    built, so it is covered by the run itself; this oracle pins the
+    aggregate ledger and the replay.
+    """
+
+    name = "explain"
+    description = ("faulted fleet run with explain armed, twice: "
+                   "byte-identical blame ledger, offered == explained, "
+                   "phase sums == totals")
+    SHRINK_MINS = {"devices": 1, "qps": 1, "horizon_ds": 10,
+                   "queue_depth": 1, "seed": 0, "fault_seed": 0,
+                   "n_crashes": 0, "n_straggles": 0, "n_drops": 0,
+                   "hedge": 0}
+
+    def sample_config(self, rng: np.random.Generator) -> Config:
+        return {
+            "devices": int(rng.integers(1, 17)),
+            "qps": int(rng.integers(1, 17)),
+            "horizon_ds": int(rng.integers(10, 151)),  # deciseconds
+            "queue_depth": int(rng.integers(1, 33)),
+            "seed": int(rng.integers(0, 2**31)),
+            "fault_seed": int(rng.integers(0, 2**31)),
+            "n_crashes": int(rng.integers(0, 3)),
+            "n_straggles": int(rng.integers(0, 3)),
+            "n_drops": int(rng.integers(0, 3)),
+            "hedge": int(rng.integers(0, 2)),
+        }
+
+    def _report(self, config: Config, fault_spec: str):
+        from ..fleet import run_fleet
+
+        return run_fleet(
+            int(config["devices"]), float(config["qps"]),
+            horizon_seconds=int(config["horizon_ds"]) / 10.0,
+            seed=int(config["seed"]),
+            queue_depth=int(config["queue_depth"]),
+            with_capacity_plan=False,
+            fault_spec=fault_spec, hedge=bool(int(config["hedge"])),
+            explain=True)
+
+    def run(self, config: Config) -> OracleResult:
+        from ..resilience.faults import FaultPlan
+
+        self._check_config(config)
+        plan = FaultPlan.random(
+            int(config["fault_seed"]), n_aborts=0, n_dma=0, n_allocs=0,
+            n_throttles=0, n_crashes=int(config["n_crashes"]),
+            n_straggles=int(config["n_straggles"]),
+            n_drops=int(config["n_drops"]), n_battery=0,
+            n_devices=int(config["devices"]),
+            horizon_seconds=int(config["horizon_ds"]) / 10.0)
+        fault_spec = plan.spec()
+        first = self._report(config, fault_spec)
+        second = self._report(config, fault_spec)
+        text_a, text_b = first.to_json_text(), second.to_json_text()
+        if text_a != text_b:
+            for line_a, line_b in zip(text_a.splitlines(),
+                                      text_b.splitlines()):
+                if line_a != line_b:
+                    return self.failed(
+                        config, "state",
+                        f"explain replay diverged: {line_a!r} vs "
+                        f"{line_b!r}")
+            return self.failed(config, "state",
+                               "explain replay diverged in length only")
+        explain = first.explain
+        if explain is None:
+            return self.failed(config, "state",
+                               "explain=True produced no explain section")
+        aggregate = explain["aggregate"]
+        offered = first.requests["offered"]
+        if aggregate["n_requests"] != offered:
+            return self.failed(
+                config, "state",
+                f"explain ledger not total: offered {offered} != "
+                f"explained {aggregate['n_requests']}")
+        blame_sum = sum(aggregate["blame_ns"].values())
+        if blame_sum != aggregate["total_latency_ns"]:
+            return self.failed(
+                config, "state",
+                f"blame phases sum to {blame_sum} ns, not the attributed "
+                f"total {aggregate['total_latency_ns']} ns")
+        energy_sum = sum(aggregate["energy_nj"].values())
+        if energy_sum != aggregate["total_nj"]:
+            return self.failed(
+                config, "state",
+                f"energy phases sum to {energy_sum} nJ, not the "
+                f"attributed total {aggregate['total_nj']} nJ")
+        return self.passed(
+            config,
+            n_offered=float(offered),
+            n_explained=float(aggregate["n_requests"]),
+            blame_ns=float(aggregate["total_latency_ns"]))

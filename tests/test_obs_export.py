@@ -262,3 +262,50 @@ class TestReportData:
         assert data["kernels"] == []
         assert data["slo"] == {}
         assert data["metrics"] == {}
+        assert data["blame"] is None
+
+
+class TestBlameSections:
+    AGGREGATE = {
+        "n_requests": 2,
+        "total_latency_ns": 1_000_000,
+        "blame_ns": {"queue_wait": 750_000, "decode": 250_000},
+        "cohorts": {"p99": {"cutoff_ns": 900_000, "n_requests": 1,
+                            "blame_ns": {"queue_wait": 900_000},
+                            "dominant_phase": "queue_wait"}},
+    }
+
+    def test_text_report_blame_section(self):
+        report = text_report(make_traced_run(), blame=self.AGGREGATE)
+        assert "latency blame (critical path)" in report
+        assert "queue_wait" in report
+        assert "p99 dominant" in report
+
+    def test_report_data_blame_key(self):
+        data = report_data(make_traced_run(), blame=self.AGGREGATE)
+        assert data["blame"]["n_requests"] == 2
+        json.dumps(data)
+
+    def test_blame_accepts_explain_report_shape(self):
+        # duck-typed: anything carrying .aggregate (an ExplainReport)
+        class Shim:
+            aggregate = self.AGGREGATE
+
+        data = report_data(make_traced_run(), blame=Shim())
+        assert data["blame"]["total_latency_ns"] == 1_000_000
+
+    def test_chrome_trace_critical_path_bars(self):
+        from repro.obs.critical_path import PhaseSlice
+
+        paths = {3: [PhaseSlice("queue_wait", 0, 500_000),
+                     PhaseSlice("decode", 500_000, 1_000_000)],
+                 5: [["service", 0, 250_000]]}  # JSON triple shape too
+        trace = chrome_trace(make_traced_run(), critical_paths=paths)
+        bars = [e for e in trace["traceEvents"]
+                if e.get("cat") == "sim.blame"]
+        assert len(bars) == 3
+        assert {b["tid"] for b in bars} == {203, 205}
+        first = [b for b in bars if b["args"]["request_id"] == 3][0]
+        assert first["name"] == "queue_wait"
+        assert first["dur"] == pytest.approx(500.0)  # ns -> us
+        json.dumps(trace)
